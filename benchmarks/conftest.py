@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one experiment of DESIGN.md §4: it builds
+the workload, runs the paper-shaped comparison, asserts the qualitative
+*shape checks*, prints the paper-style table, and persists it under
+``benchmarks/results/`` (the tables EXPERIMENTS.md quotes).
+
+pytest-benchmark times the hot simulated run (simulator throughput);
+the scientific output is the cycle table, which is deterministic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_experiment(results_dir):
+    """Print an experiment table, persist it, and assert its checks."""
+
+    def _record(exp) -> None:
+        from repro.experiments import format_table
+
+        table = format_table(exp)
+        print()
+        print(table)
+        (results_dir / f"{exp.id.lower()}.txt").write_text(table)
+        failed = [c.description for c in exp.checks if not c.holds]
+        assert not failed, f"{exp.id} shape checks failed: {failed}"
+
+    return _record

@@ -1,0 +1,31 @@
+"""ABL-1..ABL-5: the design-choice ablations of DESIGN.md §4."""
+
+from repro.experiments.ablations import (
+    abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
+    abl5_rewrite_cost,
+)
+
+
+def test_abl1_variant_threshold(benchmark, record_experiment):
+    exp = benchmark.pedantic(abl1_variant_threshold, rounds=1, iterations=1)
+    record_experiment(exp)
+
+
+def test_abl2_inlining(benchmark, record_experiment):
+    exp = benchmark.pedantic(abl2_inlining, rounds=1, iterations=1)
+    record_experiment(exp)
+
+
+def test_abl3_passes(benchmark, record_experiment):
+    exp = benchmark.pedantic(abl3_passes, rounds=1, iterations=1)
+    record_experiment(exp)
+
+
+def test_abl4_vectorize(benchmark, record_experiment):
+    exp = benchmark.pedantic(abl4_vectorize, rounds=1, iterations=1)
+    record_experiment(exp)
+
+
+def test_abl5_rewrite_cost(benchmark, record_experiment):
+    exp = benchmark.pedantic(abl5_rewrite_cost, rounds=1, iterations=1)
+    record_experiment(exp)

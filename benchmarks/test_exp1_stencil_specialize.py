@@ -1,0 +1,20 @@
+"""EXP-1: the headline Section V.A comparison (Table of DESIGN.md §4)."""
+
+from repro.experiments.stencil_exp import exp1_specialize
+from repro.models.stencil import StencilLab
+
+
+def test_exp1_stencil_specialize(benchmark, record_experiment):
+    exp = exp1_specialize(xs=24, ys=24, iters=2)
+    record_experiment(exp)
+
+    # time the hot path: one rewritten-apply sweep
+    lab = StencilLab(xs=24, ys=24)
+    rewritten = lab.rewrite_apply()
+    assert rewritten.ok
+
+    def run():
+        return lab.run_with_apply(rewritten.entry, 1).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,20 @@
+"""EXP-2: regenerate the Figure 6 listing and its structural properties."""
+
+from repro.experiments.stencil_exp import exp2_listing
+from repro.models.stencil import StencilLab
+
+
+def test_exp2_codegen_listing(benchmark, record_experiment):
+    exp = exp2_listing(xs=24, ys=24)
+    record_experiment(exp)
+
+    # time the rewrite itself (the "runtime" in runtime binary rewriting)
+    lab = StencilLab(xs=24, ys=24)
+
+    def run():
+        result = lab.rewrite_apply()
+        assert result.ok
+        return result.code_size
+
+    size = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert size > 0

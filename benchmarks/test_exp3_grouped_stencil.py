@@ -1,0 +1,19 @@
+"""EXP-3: coefficient grouping (Sec. V.B)."""
+
+from repro.experiments.stencil_exp import exp3_grouped
+from repro.models.stencil import StencilLab
+
+
+def test_exp3_grouped_stencil(benchmark, record_experiment):
+    exp = exp3_grouped(xs=24, ys=24, iters=2)
+    record_experiment(exp)
+
+    lab = StencilLab(xs=24, ys=24)
+    grouped = lab.rewrite_apply(grouped=True)
+    assert grouped.ok
+
+    def run():
+        return lab.run_with_apply(grouped.entry, 1, grouped=True).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,23 @@
+"""EXP-4: call overhead and the whole-sweep rewrite (Sec. V.B)."""
+
+from repro.experiments.stencil_exp import exp4_call_overhead
+from repro.models.stencil import StencilLab
+
+
+def test_exp4_call_overhead(benchmark, record_experiment):
+    exp = exp4_call_overhead(xs=24, ys=24, iters=2)
+    record_experiment(exp)
+
+    lab = StencilLab(xs=24, ys=24)
+    sweep = lab.rewrite_sweep()
+    assert sweep.ok
+
+    def run():
+        lab.reset_matrices()
+        return lab.machine.call(
+            sweep.entry, lab.m1, lab.m2, lab.xs, lab.ys, lab.s_addr,
+            lab.machine.symbol("apply"),
+        ).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,8 @@
+"""EXP-5: the makeDynamic failed approach (Sec. V.C)."""
+
+from repro.experiments.stencil_exp import exp5_makedynamic
+
+
+def test_exp5_makedynamic(benchmark, record_experiment):
+    exp = benchmark.pedantic(exp5_makedynamic, rounds=1, iterations=1)
+    record_experiment(exp)

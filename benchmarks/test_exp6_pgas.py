@@ -1,0 +1,19 @@
+"""EXP-6: PGAS operator[] overhead (Sec. I/V motivation)."""
+
+from repro.experiments.pgas_exp import exp6_pgas
+from repro.models.pgas import PgasLab
+
+
+def test_exp6_pgas(benchmark, record_experiment):
+    exp = exp6_pgas(nelems=512, nnodes=4)
+    record_experiment(exp)
+
+    lab = PgasLab(nelems=512, nnodes=4)
+    kernel = lab.rewrite_kernel()
+    assert kernel.ok
+
+    def run():
+        return lab.sum_with_kernel(kernel.entry, 0, lab.block).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

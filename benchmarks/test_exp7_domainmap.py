@@ -1,0 +1,18 @@
+"""EXP-7: domain-map respecialization (Sec. VI)."""
+
+from repro.experiments.domainmap_exp import exp7_domainmap
+from repro.models.domainmap import DomainMapRuntime
+
+
+def test_exp7_domainmap(benchmark, record_experiment):
+    exp = exp7_domainmap(nelems=256, nnodes=4)
+    record_experiment(exp)
+
+    rt = DomainMapRuntime(nelems=256, nnodes=4)
+    assert rt.respecialize().ok
+
+    def run():
+        return rt.sum().cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

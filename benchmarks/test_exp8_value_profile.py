@@ -1,0 +1,8 @@
+"""EXP-8: profile-guided guarded specialization (Sec. III.D)."""
+
+from repro.experiments.profile_exp import exp8_value_profile
+
+
+def test_exp8_value_profile(benchmark, record_experiment):
+    exp = benchmark.pedantic(exp8_value_profile, rounds=1, iterations=1)
+    record_experiment(exp)

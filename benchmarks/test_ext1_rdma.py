@@ -1,0 +1,8 @@
+"""EXT-1: the Sec. VIII RDMA-prefetch outlook, working (extension)."""
+
+from repro.experiments.rdma_exp import ext1_rdma_prefetch
+
+
+def test_ext1_rdma_prefetch(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext1_rdma_prefetch, rounds=1, iterations=1)
+    record_experiment(exp)

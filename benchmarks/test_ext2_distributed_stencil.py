@@ -1,0 +1,8 @@
+"""EXT-2: the distributed stencil ladder (extension)."""
+
+from repro.experiments.dstencil_exp import ext2_distributed_stencil
+
+
+def test_ext2_distributed_stencil(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext2_distributed_stencil, rounds=1, iterations=1)
+    record_experiment(exp)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's introduction as a running program: a stencil sweep over a
+PGAS-distributed matrix, accelerated in two BREW steps.
+
+1. the productive version: a generic stencil applied through the PGAS
+   library accessor (locality check per access, call per point);
+2. ``brew_rewrite`` of the whole sweep — descriptor, stencil and
+   accessor pointer known: the abstraction vanishes, halo rows are still
+   fetched remotely per access;
+3. halo exchange + respecialization against the halo-extended
+   descriptor: remote traffic becomes two bulk transfers.
+
+Run:  python examples/distributed_stencil.py
+"""
+
+from repro.models.distributed_stencil import DistributedStencilLab
+
+
+def main() -> None:
+    lab = DistributedStencilLab(xs=32, rows_per_node=8, nnodes=3, remote_cost=150)
+    print(f"matrix {lab.xs}x{lab.ys} over {lab.nnodes} nodes "
+          f"({lab.rowblock} rows each); node 0's sweep:\n")
+
+    generic = lab.run_generic()
+    oracle = lab.reference_out()
+
+    def check() -> str:
+        got = lab.read_out()
+        worst = max(abs(a - b) for a, b in zip(got, oracle))
+        return f"max|err|={worst:.1e}"
+
+    g = generic.run.cycles
+    print(f"{'generic (PGAS accessor via pointer)':<44}{g:>10,} cycles  "
+          f"{generic.run.perf.remote_accesses} remote  {check()}")
+
+    plain = lab.rewrite_sweep()
+    assert plain.ok, plain.message
+    rewritten = lab.run_rewritten(plain)
+    print(f"{'BREW-specialized sweep':<44}{rewritten.run.cycles:>10,} cycles  "
+          f"{rewritten.run.perf.remote_accesses} remote  {check()}  "
+          f"({rewritten.run.cycles / g:.1%})")
+
+    halo, _ = lab.run_halo_prefetched()
+    print(f"{'+ halo exchange & respecialize':<44}{halo.total_cycles:>10,} cycles  "
+          f"{halo.run.perf.remote_accesses} remote  {check()}  "
+          f"({halo.total_cycles / g:.1%}, incl. {halo.extra_cycles} transfer)")
+
+    print(f"\nrewrites: {plain.code_size} bytes specialized code, "
+          f"{plain.stats.inlined_calls} calls inlined, "
+          f"{plain.stats.folded_instructions} instructions folded away")
+
+
+if __name__ == "__main__":
+    main()

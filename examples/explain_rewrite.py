@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Debugging rewritten code (paper Sec. VIII): provenance listings.
+
+"An important issue is support for debugging rewritten code which may
+rely on re-generation of debug information on the fly."  Every
+instruction the rewriter emits carries the original address it derives
+from; ``Machine.explain_rewrite`` renders the annotated listing — which
+instruction came from the traced function, which from an inlined
+callee, and which is synthetic compensation the rewriter invented.
+
+Run:  python examples/explain_rewrite.py
+"""
+
+from repro import Machine
+from repro.core import BREW_KNOWN, brew_init_conf, brew_rewrite, brew_setpar
+
+SOURCE = """
+noinline double weight(double v, double k) { return v * k + 1.0; }
+
+noinline double blend(double a, double b, double k) {
+    double wa = weight(a, k);
+    double wb = weight(b, 2.0 * k);
+    if (wa > wb) return wa - wb;
+    return wb - wa;
+}
+"""
+
+
+def main() -> None:
+    machine = Machine()
+    machine.load(SOURCE)
+
+    conf = brew_init_conf()
+    brew_setpar(conf, 3, BREW_KNOWN)   # k known
+    result = brew_rewrite(machine, conf, "blend", 0.0, 0.0, 2.5)
+    assert result.ok, result.message
+
+    print(f"blend specialized for k=2.5 -> 0x{result.entry:x} "
+          f"({result.code_size} bytes, "
+          f"{result.stats.inlined_calls} calls inlined)\n")
+    print("annotated listing (right column: where each instruction came from):\n")
+    print(machine.explain_rewrite(result))
+
+    synthetic = result.debug.synthetic_count
+    total = len(result.debug.entries)
+    print(f"\n{total - synthetic} instructions traced from the original "
+          f"binaries, {synthetic} synthesized by the rewriter "
+          "(spill flushes, materializations)")
+
+    got = machine.call(result.entry, 1.0, 4.0, 2.5).float_return
+    want = machine.call("blend", 1.0, 4.0, 2.5).float_return
+    print(f"\nblend(1.0, 4.0, 2.5) = {got}  (original: {want})")
+    assert got == want
+
+
+if __name__ == "__main__":
+    main()

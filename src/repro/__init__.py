@@ -1,0 +1,58 @@
+"""BREW — programmer-controlled binary rewriting at runtime, reproduced.
+
+A full-system reproduction of Weidendorfer & Breitbart, "The Case for
+Binary Rewriting at Runtime for Efficient Implementation of High-Level
+Programming Models in HPC" (2016).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Typical use::
+
+    from repro import Machine
+    from repro.core import (brew_init_conf, brew_setpar, brew_rewrite,
+                            BREW_KNOWN, BREW_PTR_TO_KNOWN)
+
+    m = Machine()
+    m.load(minic_source)                      # compile + link
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    result = brew_rewrite(m, conf, "apply", 0, xs, s_addr)
+    fn = result.entry_or_original             # drop-in pointer
+    m.call(fn, ...)
+
+Package map (bottom-up):
+
+* :mod:`repro.isa` — the BX64 virtual ISA (encoding, semantics, costs);
+* :mod:`repro.asm` — assembler / disassembler;
+* :mod:`repro.abi` — the SysV-style calling convention;
+* :mod:`repro.machine` — memory, executable image, interpreter;
+* :mod:`repro.cc` — the minic compiler (the "gcc -O2" stand-in);
+* :mod:`repro.core` — **the paper's contribution**: the BREW rewriter;
+* :mod:`repro.profiling` — value profiling and hotspot detection;
+* :mod:`repro.models` — stencil / PGAS / domain-map libraries on top;
+* :mod:`repro.experiments` — the evaluation harness.
+"""
+
+from repro.machine.vm import Machine
+from repro.machine.cpu import RunResult
+from repro.core import (
+    BREW_KNOWN,
+    BREW_PTR_TO_KNOWN,
+    BREW_UNKNOWN,
+    RewriteConfig,
+    brew_init_conf,
+    brew_rewrite,
+    brew_setfunc,
+    brew_setmem,
+    brew_setpar,
+)
+from repro.core.rewriter import RewriteResult, rewrite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine", "RunResult",
+    "BREW_KNOWN", "BREW_PTR_TO_KNOWN", "BREW_UNKNOWN",
+    "RewriteConfig", "RewriteResult", "rewrite",
+    "brew_init_conf", "brew_setpar", "brew_setmem", "brew_setfunc",
+    "brew_rewrite",
+]

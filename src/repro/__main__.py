@@ -1,0 +1,120 @@
+"""``python -m repro`` — a small driver CLI for the simulated toolchain.
+
+Subcommands::
+
+    python -m repro run FILE.mc --call FN --args 1 2    # compile + execute
+    python -m repro disasm FILE.mc [--fn NAME]          # compiled listings
+    python -m repro rewrite FILE.mc --call FN --args 1 2 \\
+           [--known 1,2] [--force-unknown] [--passes dce,peephole]
+                                                        # specialize + compare
+
+Arguments containing a ``.`` are passed as doubles, otherwise as longs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import Machine
+from repro.core import (
+    BREW_KNOWN, brew_init_conf, brew_rewrite, brew_setfunc, brew_setpar,
+)
+
+
+def _parse_args(values: list[str]) -> list:
+    return [float(v) if "." in v else int(v, 0) for v in values]
+
+
+def _result_value(run) -> str:
+    return f"int={run.int_return}  float={run.float_return}"
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: compile the file and execute one function."""
+    machine = Machine()
+    machine.load(Path(args.file).read_text(), opt=args.opt)
+    run = machine.call(args.call, *_parse_args(args.args))
+    print(f"{args.call}({', '.join(args.args)}) -> {_result_value(run)}")
+    print(f"cycles={run.cycles}  instructions={run.perf.instructions}  "
+          f"loads={run.perf.loads}  stores={run.perf.stores}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    """``disasm``: print Figure-6-style listings of compiled functions."""
+    machine = Machine()
+    unit = machine.load(Path(args.file).read_text(), opt=args.opt)
+    names = [args.fn] if args.fn else sorted(unit.functions)
+    for name in names:
+        print(f"== {name} ==")
+        print(machine.disassemble_function(name))
+        print()
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    """``rewrite``: specialize a function with BREW and compare runs."""
+    machine = Machine()
+    machine.load(Path(args.file).read_text(), opt=args.opt)
+    call_args = _parse_args(args.args)
+    conf = brew_init_conf()
+    for index in (int(k) for k in args.known.split(",") if k):
+        brew_setpar(conf, index, BREW_KNOWN)
+    if args.force_unknown:
+        brew_setfunc(conf, None, force_unknown_results=True)
+    if args.passes:
+        conf.passes = tuple(args.passes.split(","))
+    result = brew_rewrite(machine, conf, args.call, *call_args)
+    if not result.ok:
+        print(f"rewrite FAILED ({result.reason}): {result.message}")
+        print("falling back to the original, as the paper prescribes")
+        return 1
+    original = machine.call(args.call, *call_args)
+    rewritten = machine.call(result.entry, *call_args)
+    print(f"original : {_result_value(original)}   [{original.cycles} cycles]")
+    print(f"rewritten: {_result_value(rewritten)}   [{rewritten.cycles} cycles]")
+    print(f"code: {result.code_size} bytes, "
+          f"{result.stats.emitted_instructions} emitted / "
+          f"{result.stats.folded_instructions} folded, "
+          f"{result.stats.blocks} blocks, "
+          f"{result.stats.inlined_calls} calls inlined")
+    print()
+    print(machine.disassemble_function(result.entry))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("file", help="minic source file")
+    common.add_argument("--opt", type=int, default=2, choices=(0, 1, 2))
+
+    p_run = sub.add_parser("run", parents=[common], help="compile and execute")
+    p_run.add_argument("--call", required=True)
+    p_run.add_argument("--args", nargs="*", default=[])
+    p_run.set_defaults(handler=cmd_run)
+
+    p_dis = sub.add_parser("disasm", parents=[common], help="show compiled code")
+    p_dis.add_argument("--fn")
+    p_dis.set_defaults(handler=cmd_disasm)
+
+    p_rw = sub.add_parser("rewrite", parents=[common],
+                          help="specialize a function and compare")
+    p_rw.add_argument("--call", required=True)
+    p_rw.add_argument("--known", default="", help="1-based known params, e.g. 1,2")
+    p_rw.add_argument("--force-unknown", action="store_true")
+    p_rw.add_argument("--passes", default="")
+    p_rw.add_argument("--args", nargs="*", default=[])
+    p_rw.set_defaults(handler=cmd_rewrite)
+
+    ns = parser.parse_args(argv)
+    return ns.handler(ns)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

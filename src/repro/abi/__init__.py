@@ -1,0 +1,27 @@
+"""The BX64 ABI (calling convention + stack frame conventions).
+
+The paper's rewriter configuration "relies on the ABI of the system...
+By relating rewriting configuration to actions at function boundaries,
+the abstractions of the enforced ABI calling convention can be used to
+make the rewriter configuration itself architecture independent"
+(Sec. III.C).  Everything ABI-ish is centralized here so the compiler,
+the interpreter, and the rewriter agree by construction.
+"""
+
+from repro.abi.callconv import (
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    FLOAT_ARG_REGS,
+    INT_ARG_REGS,
+    RET_FLOAT,
+    RET_INT,
+    XMM_CALLER_SAVED,
+    classify_args,
+)
+from repro.abi.frame import FrameLayout
+
+__all__ = [
+    "INT_ARG_REGS", "FLOAT_ARG_REGS", "RET_INT", "RET_FLOAT",
+    "CALLEE_SAVED", "CALLER_SAVED", "XMM_CALLER_SAVED",
+    "classify_args", "FrameLayout",
+]

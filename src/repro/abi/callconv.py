@@ -1,0 +1,68 @@
+"""BX64 calling convention, modelled on System V AMD64.
+
+* integer/pointer arguments: ``rdi, rsi, rdx, rcx, r8, r9`` in order;
+* floating-point (double) arguments: ``xmm0..xmm7`` in order;
+* integer/pointer return in ``rax``, double return in ``xmm0``;
+* ``rbx, rbp, r12..r15`` (and ``rsp``) are callee-saved; every other GPR
+  and *all* XMM registers are caller-saved;
+* more than 6 int / 8 float args would go on the stack — the minic
+  compiler rejects that many (the paper's kernels never need them).
+
+The rewriter uses these sets verbatim: after tracing over a non-inlined
+call it assumes "all caller-saved registers to be dead/unknown, while all
+callee-saved registers keep their known state" (paper, Sec. III.G).
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import GPR, XMM
+
+#: Integer/pointer argument registers, in assignment order.
+INT_ARG_REGS: tuple[GPR, ...] = (GPR.RDI, GPR.RSI, GPR.RDX, GPR.RCX, GPR.R8, GPR.R9)
+
+#: Double argument registers, in assignment order.
+FLOAT_ARG_REGS: tuple[XMM, ...] = (
+    XMM.XMM0, XMM.XMM1, XMM.XMM2, XMM.XMM3,
+    XMM.XMM4, XMM.XMM5, XMM.XMM6, XMM.XMM7,
+)
+
+RET_INT: GPR = GPR.RAX
+RET_FLOAT: XMM = XMM.XMM0
+
+#: GPRs a callee must preserve.
+CALLEE_SAVED: frozenset[GPR] = frozenset(
+    {GPR.RBX, GPR.RBP, GPR.R12, GPR.R13, GPR.R14, GPR.R15, GPR.RSP}
+)
+
+#: GPRs a call may clobber.
+CALLER_SAVED: frozenset[GPR] = frozenset(set(GPR) - CALLEE_SAVED)
+
+#: All XMM registers are caller-saved (as in SysV).
+XMM_CALLER_SAVED: frozenset[XMM] = frozenset(XMM)
+
+
+def classify_args(arg_types: list[str]) -> list[tuple[str, GPR | XMM]]:
+    """Assign argument registers for a signature.
+
+    ``arg_types`` entries are ``"int"`` (integers and pointers) or
+    ``"float"`` (doubles).  Returns ``[(type, register), ...]`` in
+    argument order.  Raises ``ValueError`` when registers run out
+    (stack arguments are unsupported by this substrate).
+    """
+    out: list[tuple[str, GPR | XMM]] = []
+    next_int = 0
+    next_float = 0
+    for t in arg_types:
+        if t == "int":
+            if next_int >= len(INT_ARG_REGS):
+                raise ValueError("too many integer arguments (stack args unsupported)")
+            out.append(("int", INT_ARG_REGS[next_int]))
+            next_int += 1
+        elif t == "float":
+            if next_float >= len(FLOAT_ARG_REGS):
+                raise ValueError("too many float arguments (stack args unsupported)")
+            out.append(("float", FLOAT_ARG_REGS[next_float]))
+            next_float += 1
+        else:
+            raise ValueError(f"unknown argument class {t!r}")
+    return out

@@ -1,0 +1,52 @@
+"""Stack frame layout helper used by the minic code generator.
+
+Frames follow the classic rbp-anchored shape::
+
+    [rbp+8]   return address (pushed by CALL)
+    [rbp]     saved rbp
+    [rbp-8]   first local slot
+    ...
+    [rsp]     frame bottom (16-byte aligned at call sites)
+
+Every local (scalar, array, struct) gets an 8-byte-aligned slot range
+below rbp; arguments are spilled from their ABI registers into local
+slots in the prologue so address-of works uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class FrameLayout:
+    """Allocates rbp-relative slots; offsets returned are negative."""
+
+    size: int = 0
+    slots: dict[str, int] = field(default_factory=dict)
+
+    def alloc(self, name: str, nbytes: int, alignment: int = 8) -> int:
+        """Reserve ``nbytes`` for ``name``; returns the rbp-relative offset."""
+        if name in self.slots:
+            raise ValueError(f"duplicate frame slot {name!r}")
+        self.size = _align(self.size + nbytes, alignment)
+        offset = -self.size
+        self.slots[name] = offset
+        return offset
+
+    def alloc_anonymous(self, nbytes: int, alignment: int = 8) -> int:
+        """Reserve a temp slot without a name."""
+        self.size = _align(self.size + nbytes, alignment)
+        return -self.size
+
+    def offset_of(self, name: str) -> int:
+        return self.slots[name]
+
+    @property
+    def aligned_size(self) -> int:
+        """Frame size rounded up to 16 bytes (ABI stack alignment)."""
+        return _align(self.size, 16)

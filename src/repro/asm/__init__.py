@@ -1,0 +1,14 @@
+"""Assembler / disassembler layer over the BX64 encoding.
+
+* :class:`repro.asm.builder.Builder` — programmatic assembly with labels,
+  used by the minic code generator, the rewriter's emitter, and tests;
+* :func:`repro.asm.assembler.assemble` — text assembly → bytes;
+* :func:`repro.asm.disassembler.disassemble` — bytes → Figure-6-style
+  listings.
+"""
+
+from repro.asm.builder import Builder
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble, format_instruction
+
+__all__ = ["Builder", "assemble", "disassemble", "format_instruction"]

@@ -1,0 +1,151 @@
+"""Text assembly front end.
+
+Syntax (one instruction or label per line, ``;`` comments)::
+
+    ; compute rax = rdi * 2 + 8
+    entry:
+        lea rax, [rdi*2+8]
+        cmp rax, 100
+        jge done
+        call helper
+    done:
+        ret
+
+Registers use their lowercase names, immediates are decimal or ``0x``
+hex, memory operands are ``[base + index*scale + disp]`` with every part
+optional, and bare identifiers in jump/call position are labels (which
+may also be pre-bound to absolute addresses via ``extra_labels`` —
+that is how code referring to already-loaded functions is assembled).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.asm.builder import Builder
+from repro.isa.operands import FReg, Imm, Label, Mem, Operand, Reg
+from repro.isa.registers import GPR_NAMES, XMM_NAMES
+
+_LABEL_RE = re.compile(r"^\s*([.\w$]+):\s*$")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_MEM_PART_RE = re.compile(
+    r"""^\s*(?P<sign>[+-])?\s*
+        (?:(?P<reg>[a-zA-Z]\w*)(?:\s*\*\s*(?P<scale>[1248]))?
+          |(?P<num>0[xX][0-9a-fA-F]+|\d+))\s*$""",
+    re.VERBOSE,
+)
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a single textual operand."""
+    text = text.strip()
+    if not text:
+        raise AssemblerError("empty operand")
+    low = text.lower()
+    if low in GPR_NAMES:
+        return Reg(GPR_NAMES[low])
+    if low in XMM_NAMES:
+        return FReg(XMM_NAMES[low])
+    if _INT_RE.match(text):
+        return Imm(_parse_int(text))
+    if text.startswith("[") and text.endswith("]"):
+        return _parse_mem(text[1:-1])
+    if re.match(r"^[.\w$]+$", text):
+        return Label(text)
+    raise AssemblerError(f"cannot parse operand {text!r}")
+
+
+def _parse_mem(body: str) -> Mem:
+    base = index = None
+    scale = 1
+    disp = 0
+    # split on +/- while keeping the sign with the term
+    terms = re.findall(r"[+-]?[^+-]+", body.replace(" ", ""))
+    if not terms:
+        raise AssemblerError(f"empty memory operand [{body}]")
+    for term in terms:
+        m = _MEM_PART_RE.match(term)
+        if not m:
+            raise AssemblerError(f"bad memory term {term!r} in [{body}]")
+        sign = -1 if m.group("sign") == "-" else 1
+        if m.group("num"):
+            disp += sign * _parse_int(m.group("num"))
+            continue
+        regname = m.group("reg").lower()
+        if regname not in GPR_NAMES:
+            raise AssemblerError(f"unknown register {regname!r} in [{body}]")
+        reg = GPR_NAMES[regname]
+        if sign == -1:
+            raise AssemblerError(f"negative register term {term!r} in [{body}]")
+        if m.group("scale"):
+            if index is not None:
+                raise AssemblerError(f"two index registers in [{body}]")
+            index = reg
+            scale = int(m.group("scale"))
+        elif base is None:
+            base = reg
+        elif index is None:
+            index = reg
+        else:
+            raise AssemblerError(f"too many registers in [{body}]")
+    return Mem(base, index, scale, disp)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def assemble(
+    source: str,
+    base_addr: int = 0,
+    extra_labels: dict[str, int] | None = None,
+) -> tuple[bytes, dict[str, int]]:
+    """Assemble ``source``; returns ``(code, label-addresses)``."""
+    b = Builder()
+    for lineno, raw in enumerate(source.splitlines(), 1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            b.label(m.group(1))
+            continue
+        fields = line.split(None, 1)
+        mnemonic = fields[0].lower()
+        operand_text = fields[1] if len(fields) > 1 else ""
+        try:
+            operands = [parse_operand(t) for t in _split_operands(operand_text)]
+            b.emit(_mnemonic_op(mnemonic), *operands)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+    return b.assemble(base_addr, extra_labels)
+
+
+def _mnemonic_op(name: str):
+    from repro.isa.opcodes import Op
+
+    try:
+        return Op[name.upper()]
+    except KeyError:
+        raise AssemblerError(f"unknown mnemonic {name!r}") from None

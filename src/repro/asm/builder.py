@@ -1,0 +1,95 @@
+"""Programmatic assembler with labels.
+
+The builder accepts friendly operand spellings and lowercase-mnemonic
+method calls::
+
+    b = Builder()
+    b.label("head")
+    b.mov(GPR.RAX, 0)
+    b.add(GPR.RAX, Mem(base=GPR.RDI, disp=8))
+    b.jne("head")
+    code, labels = b.assemble(base_addr=0x1000)
+
+Coercions: a :class:`~repro.isa.registers.GPR` becomes ``Reg``, an
+:class:`~repro.isa.registers.XMM` becomes ``FReg``, an ``int`` becomes
+``Imm``, a ``str`` becomes ``Label``.  ``Mem`` operands are passed as-is.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import encode_program, label_marker
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.operands import FReg, Imm, Label, Mem, Operand, Reg
+from repro.isa.registers import GPR, XMM
+
+_MNEMONICS = {op.name.lower(): op for op in Op}
+
+
+def coerce_operand(value: object) -> Operand:
+    """Coerce a friendly operand spelling to a real operand."""
+    if isinstance(value, (Reg, FReg, Imm, Mem, Label)):
+        return value
+    if isinstance(value, GPR):
+        return Reg(value)
+    if isinstance(value, XMM):
+        return FReg(value)
+    if isinstance(value, bool):
+        raise AssemblerError(f"refusing boolean operand {value!r}")
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, str):
+        return Label(value)
+    raise AssemblerError(f"cannot coerce operand {value!r}")
+
+
+class Builder:
+    """Accumulates instructions and label definitions; see module doc."""
+
+    def __init__(self) -> None:
+        self.items: list[Instruction] = []
+        self._label_seq = 0
+
+    # -- core ------------------------------------------------------------
+    def emit(self, op: Op, *operands: object, note: str = "") -> Instruction:
+        """Append one instruction, coercing friendly operand spellings."""
+        insn = Instruction(op, tuple(coerce_operand(o) for o in operands), note=note)
+        self.items.append(insn)
+        return insn
+
+    def append(self, insn: Instruction) -> None:
+        """Append a pre-built instruction unchanged."""
+        self.items.append(insn)
+
+    def extend(self, insns: list[Instruction]) -> None:
+        self.items.extend(insns)
+
+    def label(self, name: str) -> str:
+        self.items.append(label_marker(name))
+        return name
+
+    def fresh_label(self, stem: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        self._label_seq += 1
+        return f".{stem}{self._label_seq}"
+
+    def assemble(
+        self, base_addr: int = 0, extra_labels: dict[str, int] | None = None
+    ) -> tuple[bytes, dict[str, int]]:
+        """Encode everything; returns ``(code, label-addresses)``."""
+        return encode_program(self.items, base_addr, extra_labels)
+
+    # -- sugar: one method per mnemonic -----------------------------------
+    def __getattr__(self, name: str):
+        op = _MNEMONICS.get(name)
+        if op is None:
+            raise AttributeError(name)
+
+        def emit_named(*operands: object, note: str = "") -> Instruction:
+            return self.emit(op, *operands, note=note)
+
+        return emit_named
+
+    def __len__(self) -> int:
+        return len(self.items)

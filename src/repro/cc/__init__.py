@@ -1,0 +1,31 @@
+"""minic — a small C-like compiler targeting BX64.
+
+This is the "gcc 5.1 -O2" stand-in of the reproduction (DESIGN.md §2):
+the rewriter must receive *compiler-produced optimized binary code it has
+no source-level knowledge of*, and the Section V.C failure mode (the
+compiler defeating ``makeDynamic`` by re-introducing a fresh induction
+variable) must be reproducible, not narrated.
+
+Language summary (deliberately close to the paper's C snippets):
+
+* types: ``long`` (``int`` is accepted as an alias), ``double``, ``void``,
+  pointers, fixed-size (multi-dimensional) arrays, ``struct``s, and
+  C-style function-pointer declarators (incl. via ``typedef``);
+* everything is 8 bytes or a multiple thereof — no char/short;
+* control flow: ``if/else``, ``while``, ``for``, ``break``, ``continue``,
+  ``return``;
+* expressions: full C operator set minus ternary and comma, with
+  ``sizeof``, casts, ``&``/``*``, ``->``/``.``, indexing, compound
+  assignment and ``++``/``--``;
+* top level: globals with brace initializers, ``extern`` declarations,
+  ``typedef``, and a ``noinline`` function qualifier (the paper relies on
+  prohibiting compiler inlining to keep ``apply`` callable by pointer);
+* optimization levels: ``-O0`` (straight codegen), ``-O1`` (constant
+  folding + binary peephole), ``-O2`` (adds statement-level inlining of
+  single-return functions and the loop-normalization pass that
+  reproduces the paper's ``makeDynamic`` defeat).
+"""
+
+from repro.cc.frontend import compile_source, compile_into
+
+__all__ = ["compile_source", "compile_into"]

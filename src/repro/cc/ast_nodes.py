@@ -1,0 +1,220 @@
+"""minic abstract syntax tree.
+
+Every node carries a source position for diagnostics.  Expression nodes
+gain a ``ty`` attribute (their :mod:`repro.cc.types` type) during
+semantic analysis; ``VarRef`` additionally gains a binding record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cc.types import FuncType, Type
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------- expressions
+@dataclass
+class Expr(Node):
+    #: Filled by sema.
+    ty: Optional[Type] = field(default=None, kw_only=True, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+    #: Filled by sema: "local" | "param" | "global" | "func"
+    binding: str = field(default="", kw_only=True, repr=False)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # "-", "!", "~"
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # + - * / % << >> & | ^ == != < <= > >= && ||
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value`` (compound forms are desugared by the parser)."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    fn: Expr = None  # type: ignore[assignment]
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Member(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type = None  # type: ignore[assignment]
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class AddrOf(Expr):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Deref(Expr):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: Type = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------- statements
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    var_type: Type = None  # type: ignore[assignment]
+    init: Optional["Initializer"] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # VarDecl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------- initializers
+@dataclass
+class InitList(Node):
+    """Brace initializer ``{ a, b, { c, d } }``."""
+
+    items: list["Initializer"] = field(default_factory=list)
+
+
+Initializer = Expr | InitList
+
+
+# ---------------------------------------------------------------- top level
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    func_type: FuncType = None  # type: ignore[assignment]
+    param_names: list[str] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+    noinline: bool = False
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    var_type: Type = None  # type: ignore[assignment]
+    init: Optional[Initializer] = None
+    #: ``const`` globals are placed in rodata (readable by the rewriter
+    #: as known memory without any brew_setmem call).
+    const: bool = False
+
+
+@dataclass
+class ExternDecl(Node):
+    name: str = ""
+    decl_type: Type = None  # type: ignore[assignment]
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A parsed source file: functions, globals, externs in order."""
+    items: list[Node] = field(default_factory=list)
+
+    @property
+    def functions(self) -> list[FuncDef]:
+        return [i for i in self.items if isinstance(i, FuncDef)]
+
+    @property
+    def globals(self) -> list[GlobalVar]:
+        return [i for i in self.items if isinstance(i, GlobalVar)]
+
+    def function(self, name: str) -> FuncDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)

@@ -1,0 +1,824 @@
+"""minic code generation: annotated AST → BX64 instructions.
+
+Strategy: a classic one-pass stack-of-scratch-registers evaluator.
+
+* Integer scratch registers (in depth order): ``rax rcx rdx rsi rdi r8
+  r9`` — all caller-saved, so nothing needs preserving in prologues;
+  ``r10``/``r11`` are reserved helpers (division, indirect calls).
+* Float scratch registers: ``xmm8..xmm15`` (never argument registers).
+* Parameters are spilled to frame slots in the prologue so their ABI
+  registers immediately become scratch and address-of works uniformly.
+* Around calls, live scratch registers are saved to the stack; call
+  arguments are evaluated onto the stack and popped into ABI registers
+  (part of the "library call overhead" the paper's rewriter removes).
+* Expressions deeper than the scratch stacks are a compile error —
+  minic targets kernels, not obfuscated C contests.
+
+Addressing modes are folded aggressively (constant indices and struct
+offsets into displacements, 8-byte elements into scaled index operands)
+because the *shape* of the generic stencil's inner loop — loads through
+``[reg + reg*8 + disp]`` — is what the rewriter specializes in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.abi.callconv import FLOAT_ARG_REGS, INT_ARG_REGS, RET_FLOAT, RET_INT
+from repro.abi.frame import FrameLayout
+from repro.asm.builder import Builder
+from repro.cc import ast_nodes as A
+from repro.cc.types import (
+    ArrayType, FuncType, PointerType, StructType, decay,
+)
+from repro.isa.flags import Cond
+from repro.isa.instruction import Instruction, ins
+from repro.isa.opcodes import JCC_FOR_COND, Op, SETCC_FOR_COND
+from repro.isa.operands import FReg, Imm, Label, Mem, Reg
+from repro.isa.registers import GPR, XMM
+
+INT_SCRATCH: tuple[GPR, ...] = (
+    GPR.RAX, GPR.RCX, GPR.RDX, GPR.RSI, GPR.RDI, GPR.R8, GPR.R9
+)
+FLOAT_SCRATCH: tuple[XMM, ...] = (
+    XMM.XMM8, XMM.XMM9, XMM.XMM10, XMM.XMM11,
+)
+HELPER1, HELPER2 = GPR.R10, GPR.R11
+
+_INT_CMP_COND = {"==": Cond.E, "!=": Cond.NE, "<": Cond.L,
+                 "<=": Cond.LE, ">": Cond.G, ">=": Cond.GE}
+# doubles compare via UCOMISD -> unsigned-style condition codes
+_FLOAT_CMP_COND = {"==": Cond.E, "!=": Cond.NE, "<": Cond.B,
+                   "<=": Cond.BE, ">": Cond.A, ">=": Cond.AE}
+_INT_BINOP = {"+": Op.ADD, "-": Op.SUB, "*": Op.IMUL, "&": Op.AND,
+              "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SAR}
+_FLOAT_BINOP = {"+": Op.ADDSD, "-": Op.SUBSD, "*": Op.MULSD, "/": Op.DIVSD}
+
+
+class LinkContext:
+    """Services codegen needs from the link environment."""
+
+    def global_address(self, name: str) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def float_literal(self, value: float) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class Address:
+    """A partially-folded effective address (lowers to a Mem operand)."""
+
+    base: GPR | None = None
+    index: GPR | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def mem(self) -> Mem:
+        return Mem(self.base, self.index, self.scale, self.disp)
+
+
+class FunctionCodegen:
+    """Generates BX64 for one analyzed function (see module doc)."""
+    def __init__(self, fn: A.FuncDef, ctx: LinkContext, promote: bool = True) -> None:
+        from repro.cc.promote import PromotionPlan, plan_promotion
+
+        self.fn = fn
+        self.ctx = ctx
+        self.b = Builder()
+        self.frame = FrameLayout()
+        self.slots: dict[int, int] = {}  # id(decl) -> rbp offset
+        self.plan: PromotionPlan = plan_promotion(fn) if promote else PromotionPlan()
+        self.epilogue = "$epilogue"
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self._frame_patch_index: int | None = None
+
+    # ------------------------------------------------------------- helpers
+    def err(self, message: str, node: A.Node) -> CompileError:
+        return CompileError(f"{self.fn.name}: {message}", node.line, node.col)
+
+    def ireg(self, di: int) -> GPR:
+        if di >= len(INT_SCRATCH):
+            raise CompileError(f"{self.fn.name}: integer expression too deep")
+        return INT_SCRATCH[di]
+
+    def freg(self, df: int) -> XMM:
+        if df >= len(FLOAT_SCRATCH):
+            raise CompileError(f"{self.fn.name}: float expression too deep")
+        return FLOAT_SCRATCH[df]
+
+    @staticmethod
+    def _slot_key(decl: object) -> object:
+        from repro.cc.sema import ParamBinding
+
+        if isinstance(decl, ParamBinding):
+            # sema and codegen build distinct ParamBinding objects; params
+            # are uniquely named within a function, so key by name.
+            return ("param", decl.name)
+        return id(decl)
+
+    def slot_of(self, decl: object) -> int:
+        return self.slots[self._slot_key(decl)]  # type: ignore[index]
+
+    def preg_of(self, ref: A.VarRef) -> GPR | XMM | None:
+        """The promoted register of a local/param reference, if any."""
+        if ref.binding not in ("local", "param"):
+            return None
+        return self.plan.reg_of(self._slot_key(ref.decl))  # type: ignore[attr-defined]
+
+    def _alloc_slot(self, name: str, decl: object, size: int) -> int:
+        from repro.cc.sema import ParamBinding
+
+        key: object = ("param", name) if isinstance(decl, ParamBinding) else id(decl)
+        offset = self.frame.alloc(f"{name}@{self.frame.size:x}", max(size, 8))
+        self.slots[key] = offset  # type: ignore[index]
+        return offset
+
+    def float_lit_mem(self, value: float) -> Mem:
+        return Mem(disp=self.ctx.float_literal(value))
+
+    # ---------------------------------------------------------------- entry
+    def generate(self) -> list[Instruction]:
+        """Emit prologue, body, epilogue; returns builder items with labels."""
+        b = self.b
+        b.push(GPR.RBP)
+        b.mov(GPR.RBP, GPR.RSP)
+        self._frame_patch_index = len(b.items)
+        b.sub(GPR.RSP, 0)  # patched to the final frame size below
+        # save the callee-saved registers promotion uses
+        for reg in self.plan.saved_gprs:
+            b.push(reg)
+        # move/spill parameters
+        next_int = next_float = 0
+        for name, ty in zip(self.fn.param_names, self.fn.func_type.params):
+            binding = self._param_binding(name)
+            preg = self.plan.reg_of(("param", name))
+            if ty.is_float:
+                src: object = FLOAT_ARG_REGS[next_float]
+                next_float += 1
+            else:
+                src = INT_ARG_REGS[next_int]
+                next_int += 1
+            if preg is not None:
+                if ty.is_float:
+                    b.movsd(preg, src)
+                else:
+                    b.mov(preg, src)
+            else:
+                offset = self._alloc_slot(name, binding, 8)
+                if ty.is_float:
+                    b.movsd(Mem(GPR.RBP, disp=offset), src)
+                else:
+                    b.mov(Mem(GPR.RBP, disp=offset), src)
+        self.gen_block(self.fn.body)
+        b.label(self.epilogue)
+        for reg in reversed(self.plan.saved_gprs):
+            b.pop(reg)
+        b.mov(GPR.RSP, GPR.RBP)
+        b.pop(GPR.RBP)
+        b.ret()
+        # patch the frame reservation
+        size = self.frame.aligned_size
+        assert self._frame_patch_index is not None
+        b.items[self._frame_patch_index] = ins(Op.SUB, Reg(GPR.RSP), Imm(size))
+        return b.items
+
+    def _param_binding(self, name: str):
+        # sema linked VarRefs straight to ParamBinding objects; find the
+        # canonical one by scanning the function type (names are unique).
+        from repro.cc.sema import ParamBinding
+
+        index = self.fn.param_names.index(name)
+        key = (id(self.fn), index)
+        cache = getattr(self.fn, "_param_bindings", None)
+        if cache is None:
+            cache = {}
+            self.fn._param_bindings = cache  # type: ignore[attr-defined]
+        if key not in cache:
+            cache[key] = ParamBinding(name, self.fn.func_type.params[index], index)
+        return cache[key]
+
+    # ----------------------------------------------------------- statements
+    def gen_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: A.Stmt) -> None:
+        b = self.b
+        if isinstance(stmt, A.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, A.VarDecl):
+            preg = self.plan.reg_of(id(stmt))
+            if preg is None:
+                self._alloc_slot(stmt.name, stmt, stmt.var_type.size)
+            if stmt.init is not None:
+                assert isinstance(stmt.init, A.Expr)
+                if stmt.init.ty.is_float:  # type: ignore[union-attr]
+                    self.eval_float(stmt.init, 0, 0)
+                    if preg is not None:
+                        b.movsd(preg, FLOAT_SCRATCH[0])
+                    else:
+                        b.movsd(Mem(GPR.RBP, disp=self.slot_of(stmt)), FLOAT_SCRATCH[0])
+                else:
+                    self.eval_int(stmt.init, 0, 0)
+                    if preg is not None:
+                        b.mov(preg, INT_SCRATCH[0])
+                    else:
+                        b.mov(Mem(GPR.RBP, disp=self.slot_of(stmt)), INT_SCRATCH[0])
+        elif isinstance(stmt, A.ExprStmt):
+            if isinstance(stmt.expr, A.Assign):
+                self.gen_assign(stmt.expr, 0, 0, want_value=False)
+            else:
+                self.eval_expr(stmt.expr, 0, 0)
+        elif isinstance(stmt, A.If):
+            lelse = b.fresh_label("else")
+            lend = b.fresh_label("endif")
+            self.branch_if(stmt.cond, lelse, when=False)
+            self.gen_stmt(stmt.then)
+            if stmt.els is not None:
+                b.jmp(lend)
+                b.label(lelse)
+                self.gen_stmt(stmt.els)
+                b.label(lend)
+            else:
+                b.label(lelse)
+        elif isinstance(stmt, A.While):
+            lcond = b.fresh_label("while")
+            lend = b.fresh_label("wend")
+            b.label(lcond)
+            self.branch_if(stmt.cond, lend, when=False)
+            self.break_labels.append(lend)
+            self.continue_labels.append(lcond)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            b.jmp(lcond)
+            b.label(lend)
+        elif isinstance(stmt, A.For):
+            lcond = b.fresh_label("for")
+            lstep = b.fresh_label("fstep")
+            lend = b.fresh_label("fend")
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            b.label(lcond)
+            if stmt.cond is not None:
+                self.branch_if(stmt.cond, lend, when=False)
+            self.break_labels.append(lend)
+            self.continue_labels.append(lstep)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            b.label(lstep)
+            if stmt.step is not None:
+                if isinstance(stmt.step, A.Assign):
+                    self.gen_assign(stmt.step, 0, 0, want_value=False)
+                else:
+                    self.eval_expr(stmt.step, 0, 0)
+            b.jmp(lcond)
+            b.label(lend)
+        elif isinstance(stmt, A.Return):
+            if stmt.expr is not None:
+                if stmt.expr.ty.is_float:  # type: ignore[union-attr]
+                    self.eval_float(stmt.expr, 0, 0)
+                    b.movsd(RET_FLOAT, FLOAT_SCRATCH[0])
+                else:
+                    self.eval_int(stmt.expr, 0, 0)
+                    if INT_SCRATCH[0] is not RET_INT:  # pragma: no cover
+                        b.mov(RET_INT, INT_SCRATCH[0])
+            b.jmp(self.epilogue)
+        elif isinstance(stmt, A.Break):
+            b.jmp(self.break_labels[-1])
+        elif isinstance(stmt, A.Continue):
+            b.jmp(self.continue_labels[-1])
+        else:  # pragma: no cover
+            raise self.err(f"unhandled statement {type(stmt).__name__}", stmt)
+
+    # ---------------------------------------------------------- conditions
+    def branch_if(
+        self, expr: A.Expr, target: str, when: bool, di: int = 0, df: int = 0
+    ) -> None:
+        """Branch to ``target`` when truth(expr) == when, else fall through.
+
+        ``di``/``df`` are the first free scratch depths (non-zero when the
+        condition is evaluated as a sub-expression of a larger one)."""
+        b = self.b
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.branch_if(expr.expr, target, not when, di, df)
+            return
+        if isinstance(expr, A.Binary) and expr.op in ("&&", "||"):
+            both = expr.op == "&&"
+            if both != when:
+                # (&& and when=False) or (|| and when=True): either side decides
+                self.branch_if(expr.left, target, when, di, df)
+                self.branch_if(expr.right, target, when, di, df)
+            else:
+                skip = b.fresh_label("sc")
+                self.branch_if(expr.left, skip, not when, di, df)
+                self.branch_if(expr.right, target, when, di, df)
+                b.label(skip)
+            return
+        if isinstance(expr, A.Binary) and expr.op in _INT_CMP_COND:
+            lt = decay(expr.left.ty)  # type: ignore[arg-type]
+            if lt.is_float:
+                self.eval_float(expr.left, di, df)
+                self.eval_float(expr.right, di, df + 1)
+                b.ucomisd(FLOAT_SCRATCH[df], FLOAT_SCRATCH[df + 1])
+                cond = _FLOAT_CMP_COND[expr.op]
+            else:
+                self.eval_int(expr.left, di, df)
+                self.eval_int(expr.right, di + 1, df)
+                b.cmp(INT_SCRATCH[di], INT_SCRATCH[di + 1])
+                cond = _INT_CMP_COND[expr.op]
+            if not when:
+                cond = cond.negated
+            b.emit(JCC_FOR_COND[cond], target)
+            return
+        # general scalar truth test
+        if expr.ty.is_float:  # type: ignore[union-attr]
+            self.eval_float(expr, di, df)
+            self.b.xorpd(FLOAT_SCRATCH[df + 1], FLOAT_SCRATCH[df + 1])
+            b.ucomisd(FLOAT_SCRATCH[df], FLOAT_SCRATCH[df + 1])
+        else:
+            self.eval_int(expr, di, df)
+            b.cmp(INT_SCRATCH[di], 0)
+        b.emit(JCC_FOR_COND[Cond.NE if when else Cond.E], target)
+
+    # ------------------------------------------------------------- dispatch
+    def eval_expr(self, expr: A.Expr, di: int, df: int) -> None:
+        """Evaluate for value or effect; result (if any) lands in the
+        class-appropriate scratch register at the current depth."""
+        assert expr.ty is not None
+        if expr.ty.is_float:
+            self.eval_float(expr, di, df)
+        else:
+            self.eval_int(expr, di, df)
+
+    # --------------------------------------------------------- int values
+    def eval_int(self, expr: A.Expr, di: int, df: int) -> None:
+        """Evaluate an integer/pointer-typed expression into
+        ``INT_SCRATCH[di]`` (may use deeper scratch)."""
+        b = self.b
+        dst = self.ireg(di)
+        if isinstance(expr, A.IntLit):
+            b.mov(dst, expr.value)
+        elif isinstance(expr, A.VarRef):
+            preg = self.preg_of(expr)
+            if preg is not None:
+                b.mov(dst, preg)
+            elif expr.binding == "func":
+                b.mov(dst, Label(expr.name))
+            elif isinstance(expr.ty, ArrayType):
+                addr, _ = self.eval_addr(expr, di)
+                b.lea(dst, addr.mem())
+            else:
+                addr, _ = self.eval_addr(expr, di)
+                b.mov(dst, addr.mem())
+        elif isinstance(expr, A.Deref) and isinstance(expr.ty, FuncType):
+            # *fnptr is a function designator; its value is the pointer
+            self.eval_int(expr.expr, di, df)
+        elif isinstance(expr, (A.Deref, A.Index, A.Member)):
+            addr, _ = self.eval_addr(expr, di)
+            if isinstance(expr.ty, (ArrayType, StructType)):
+                b.lea(dst, addr.mem())
+            else:
+                b.mov(dst, addr.mem())
+        elif isinstance(expr, A.AddrOf):
+            inner = expr.expr
+            if isinstance(inner, A.VarRef) and inner.binding == "func":
+                b.mov(dst, Label(inner.name))
+            else:
+                addr, _ = self.eval_addr(inner, di)
+                b.lea(dst, addr.mem())
+        elif isinstance(expr, A.Unary):
+            if expr.op == "-":
+                self.eval_int(expr.expr, di, df)
+                b.neg(dst)
+            elif expr.op == "~":
+                self.eval_int(expr.expr, di, df)
+                getattr(b, "not")(dst)
+            elif expr.op == "!":
+                self.eval_truth(expr.expr, di, df, negate=True)
+            else:  # pragma: no cover
+                raise self.err(f"unhandled unary {expr.op}", expr)
+        elif isinstance(expr, A.Binary):
+            self.eval_int_binary(expr, di, df)
+        elif isinstance(expr, A.Assign):
+            self.gen_assign(expr, di, df)
+        elif isinstance(expr, A.Call):
+            self.gen_call(expr, di, df)
+        elif isinstance(expr, A.Cast):
+            src_ty = expr.expr.ty
+            assert src_ty is not None
+            if src_ty.is_float:
+                self.eval_float(expr.expr, di, df)
+                b.cvttsd2si(dst, FLOAT_SCRATCH[df])
+            else:
+                self.eval_int(expr.expr, di, df)
+        else:  # pragma: no cover
+            raise self.err(f"unhandled int expression {type(expr).__name__}", expr)
+
+    def eval_truth(self, expr: A.Expr, di: int, df: int, negate: bool = False) -> None:
+        """0/1 value of a scalar in INT_SCRATCH[di]."""
+        b = self.b
+        dst = self.ireg(di)
+        if expr.ty.is_float:  # type: ignore[union-attr]
+            self.eval_float(expr, di, df)
+            b.xorpd(FLOAT_SCRATCH[df + 1], FLOAT_SCRATCH[df + 1])
+            b.ucomisd(FLOAT_SCRATCH[df], FLOAT_SCRATCH[df + 1])
+        else:
+            self.eval_int(expr, di, df)
+            b.cmp(dst, 0)
+        cond = Cond.E if negate else Cond.NE
+        b.emit(SETCC_FOR_COND[cond], dst)
+
+    def eval_int_binary(self, expr: A.Binary, di: int, df: int) -> None:
+        """Integer binary operators incl. comparisons, pointer arithmetic,
+        and the IDIV register convention."""
+        b = self.b
+        dst = self.ireg(di)
+        op = expr.op
+        lt = decay(expr.left.ty)  # type: ignore[arg-type]
+        rt = decay(expr.right.ty)  # type: ignore[arg-type]
+        if op in ("&&", "||"):
+            # value form with short-circuit
+            lfalse = b.fresh_label("andf")
+            lend = b.fresh_label("ande")
+            self.branch_if(expr, lfalse, when=False, di=di, df=df)
+            b.mov(dst, 1)
+            b.jmp(lend)
+            b.label(lfalse)
+            b.mov(dst, 0)
+            b.label(lend)
+            return
+        if op in _INT_CMP_COND:
+            if lt.is_float:
+                self.eval_float(expr.left, di, df)
+                self.eval_float(expr.right, di, df + 1)
+                b.ucomisd(FLOAT_SCRATCH[df], FLOAT_SCRATCH[df + 1])
+                cond = _FLOAT_CMP_COND[op]
+            else:
+                self.eval_int(expr.left, di, df)
+                self.eval_int(expr.right, di + 1, df)
+                b.cmp(dst, self.ireg(di + 1))
+                cond = _INT_CMP_COND[op]
+            b.emit(SETCC_FOR_COND[cond], dst)
+            return
+        if op in ("/", "%") and lt.is_integer:
+            self.eval_int(expr.left, di, df)
+            self.eval_int(expr.right, di + 1, df)
+            self.gen_int_div(dst, self.ireg(di + 1), want_rem=(op == "%"))
+            return
+        if lt.is_pointer and rt.is_integer and op in ("+", "-"):
+            elem = lt.pointee.size  # type: ignore[union-attr]
+            self.eval_int(expr.left, di, df)
+            self.eval_int(expr.right, di + 1, df)
+            rhs = self.ireg(di + 1)
+            if elem != 1:
+                b.imul(rhs, elem)
+            b.emit(_INT_BINOP[op], Reg(dst), Reg(rhs))
+            return
+        if lt.is_pointer and rt.is_pointer and op == "-":
+            elem = lt.pointee.size  # type: ignore[union-attr]
+            self.eval_int(expr.left, di, df)
+            self.eval_int(expr.right, di + 1, df)
+            b.sub(dst, self.ireg(di + 1))
+            if elem != 1:
+                if elem & (elem - 1) == 0:
+                    b.sar(dst, elem.bit_length() - 1)
+                else:
+                    self.gen_int_div_by_const(dst, elem)
+            return
+        # plain integer arithmetic
+        self.eval_int(expr.left, di, df)
+        # immediate folding for the common literal-RHS case
+        if isinstance(expr.right, A.IntLit) and op in _INT_BINOP:
+            b.emit(_INT_BINOP[op], Reg(dst), Imm(expr.right.value))
+            return
+        self.eval_int(expr.right, di + 1, df)
+        b.emit(_INT_BINOP[op], Reg(dst), Reg(self.ireg(di + 1)))
+
+    def gen_int_div(self, dst: GPR, divisor: GPR, want_rem: bool) -> None:
+        """Signed division through the IDIV rax/rdx convention, preserving
+        all scratch registers except ``dst``."""
+        b = self.b
+        b.mov(HELPER1, divisor)
+        b.push(GPR.RAX)
+        b.push(GPR.RDX)
+        b.mov(GPR.RAX, dst) if dst is not GPR.RAX else None
+        b.idiv(HELPER1)
+        b.mov(HELPER2, GPR.RDX if want_rem else GPR.RAX)
+        b.pop(GPR.RDX)
+        b.pop(GPR.RAX)
+        b.mov(dst, HELPER2)
+
+    def gen_int_div_by_const(self, dst: GPR, value: int) -> None:
+        """Divide ``dst`` by a constant through the IDIV convention."""
+        b = self.b
+        b.mov(HELPER1, value)
+        b.push(GPR.RAX)
+        b.push(GPR.RDX)
+        if dst is not GPR.RAX:
+            b.mov(GPR.RAX, dst)
+        b.idiv(HELPER1)
+        b.mov(HELPER2, GPR.RAX)
+        b.pop(GPR.RDX)
+        b.pop(GPR.RAX)
+        b.mov(dst, HELPER2)
+
+    # -------------------------------------------------------- float values
+    def eval_float(self, expr: A.Expr, di: int, df: int) -> None:
+        """Evaluate a double-typed expression into ``FLOAT_SCRATCH[df]``."""
+        b = self.b
+        dst = self.freg(df)
+        if isinstance(expr, A.FloatLit):
+            b.movsd(dst, self.float_lit_mem(expr.value))
+        elif isinstance(expr, A.VarRef):
+            preg = self.preg_of(expr)
+            if preg is not None:
+                b.movsd(dst, preg)
+            else:
+                addr, _ = self.eval_addr(expr, di)
+                b.movsd(dst, addr.mem())
+        elif isinstance(expr, (A.Deref, A.Index, A.Member)):
+            addr, _ = self.eval_addr(expr, di)
+            b.movsd(dst, addr.mem())
+        elif isinstance(expr, A.Unary) and expr.op == "-":
+            self.eval_float(expr.expr, di, df)
+            b.mulsd(dst, self.float_lit_mem(-1.0))
+        elif isinstance(expr, A.Binary):
+            op = expr.op
+            if op not in _FLOAT_BINOP:  # pragma: no cover
+                raise self.err(f"unhandled float binary {op}", expr)
+            self.eval_float(expr.left, di, df)
+            # fold literal RHS into a direct rodata operand
+            if isinstance(expr.right, A.FloatLit):
+                b.emit(_FLOAT_BINOP[op], FReg(dst), self.float_lit_mem(expr.right.value))
+                return
+            self.eval_float(expr.right, di, df + 1)
+            b.emit(_FLOAT_BINOP[op], FReg(dst), FReg(self.freg(df + 1)))
+        elif isinstance(expr, A.Assign):
+            self.gen_assign(expr, di, df)
+        elif isinstance(expr, A.Call):
+            self.gen_call(expr, di, df)
+        elif isinstance(expr, A.Cast):
+            src_ty = expr.expr.ty
+            assert src_ty is not None
+            if src_ty.is_float:
+                self.eval_float(expr.expr, di, df)
+            else:
+                self.eval_int(expr.expr, di, df)
+                b.cvtsi2sd(dst, INT_SCRATCH[di])
+        else:  # pragma: no cover
+            raise self.err(f"unhandled float expression {type(expr).__name__}", expr)
+
+    # ------------------------------------------------------------ addresses
+    def eval_addr(self, expr: A.Expr, di: int) -> tuple[Address, int]:
+        """Compute the address of an lvalue; may consume int scratch regs
+        starting at ``di``.  Returns (address, next free depth)."""
+        b = self.b
+        if isinstance(expr, A.VarRef):
+            decl = expr.decl  # type: ignore[attr-defined]
+            if expr.binding in ("local", "param"):
+                return Address(base=GPR.RBP, disp=self.slot_of(decl)), di
+            if expr.binding == "global":
+                return Address(disp=self.ctx.global_address(expr.name)), di
+            raise self.err(f"cannot take address of {expr.name}", expr)
+        if isinstance(expr, A.Deref):
+            if isinstance(expr.expr, A.VarRef):
+                preg = self.preg_of(expr.expr)
+                if isinstance(preg, GPR):
+                    return Address(base=preg), di
+            self.eval_int(expr.expr, di, 0)
+            return Address(base=self.ireg(di)), di + 1
+        if isinstance(expr, A.Member):
+            if expr.arrow:
+                st = expr.base.ty.pointee  # type: ignore[union-attr]
+                if isinstance(expr.base, A.VarRef):
+                    preg = self.preg_of(expr.base)
+                    if isinstance(preg, GPR):
+                        return Address(base=preg, disp=st.field_offset(expr.name)), di
+                self.eval_int(expr.base, di, 0)
+                return (
+                    Address(base=self.ireg(di), disp=st.field_offset(expr.name)),
+                    di + 1,
+                )
+            addr, ndi = self.eval_addr(expr.base, di)
+            st = expr.base.ty
+            assert isinstance(st, StructType)
+            addr.disp += st.field_offset(expr.name)
+            return addr, ndi
+        if isinstance(expr, A.Index):
+            base_ty = expr.base.ty
+            assert base_ty is not None
+            if isinstance(base_ty, ArrayType):
+                addr, ndi = self.eval_addr(expr.base, di)
+            elif (
+                isinstance(expr.base, A.VarRef)
+                and isinstance(self.preg_of(expr.base), GPR)
+            ):
+                addr, ndi = Address(base=self.preg_of(expr.base)), di
+            else:  # pointer
+                self.eval_int(expr.base, di, 0)
+                addr, ndi = Address(base=self.ireg(di)), di + 1
+            elem = expr.ty.size  # type: ignore[union-attr]
+            index = expr.index
+            if isinstance(index, A.IntLit):
+                addr.disp += index.value * elem
+                return addr, ndi
+            self.eval_int(index, ndi, 0)
+            ireg = self.ireg(ndi)
+            if addr.index is None and elem in (1, 2, 4, 8):
+                addr.index = ireg
+                addr.scale = elem
+                return addr, ndi + 1
+            if elem != 1:
+                b.imul(ireg, elem)
+            if addr.index is not None:
+                # collapse the existing address into its base register
+                collapsed = self.ireg(ndi + 1) if addr.base is None else addr.base
+                b.lea(collapsed, addr.mem())
+                addr = Address(base=collapsed)
+            if addr.base is None:
+                addr.base = ireg
+            else:
+                b.add(ireg, addr.base)
+                addr = Address(base=ireg, disp=addr.disp)
+            return addr, ndi + 1
+        if isinstance(expr, A.AddrOf):
+            # &*p and &a[i] fold to the inner address
+            return self.eval_addr(expr.expr, di)
+        raise self.err(f"expression has no address ({type(expr).__name__})", expr)
+
+    # --------------------------------------------------------------- assign
+    _INPLACE_INT = {"+": Op.ADD, "-": Op.SUB, "*": Op.IMUL, "&": Op.AND,
+                    "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SAR}
+
+    def _try_inplace_accumulate(self, expr: A.Assign, di: int, df: int) -> bool:
+        """``v = v ⊕ rhs`` with v promoted: operate directly on v's
+        register (the accumulator pattern of every optimizing compiler;
+        loop counters become ``add r12, 1``, reductions ``addsd xmm12, x``)."""
+        target = expr.target
+        value = expr.value
+        if not (isinstance(target, A.VarRef) and isinstance(value, A.Binary)):
+            return False
+        preg = self.preg_of(target)
+        if preg is None:
+            return False
+        left = value.left
+        if not (
+            isinstance(left, A.VarRef)
+            and getattr(left, "decl", None) is getattr(target, "decl", object())
+        ):
+            return False
+        b = self.b
+        if target.ty.is_float:  # type: ignore[union-attr]
+            if value.op not in _FLOAT_BINOP:
+                return False
+            rhs = value.right
+            if isinstance(rhs, A.FloatLit):
+                b.emit(_FLOAT_BINOP[value.op], preg, self.float_lit_mem(rhs.value))
+            else:
+                self.eval_float(rhs, di, df)
+                b.emit(_FLOAT_BINOP[value.op], preg, FLOAT_SCRATCH[df])
+            return True
+        if value.op not in self._INPLACE_INT:
+            return False
+        # pointer arithmetic scales; only plain integer targets here
+        from repro.cc.types import decay as _decay
+
+        if _decay(target.ty).is_pointer and value.op in ("+", "-"):  # type: ignore[arg-type]
+            elem = target.ty.pointee.size  # type: ignore[union-attr]
+            if elem != 1 and not isinstance(value.right, A.IntLit):
+                return False
+            if isinstance(value.right, A.IntLit):
+                b.emit(self._INPLACE_INT[value.op], preg,
+                       Imm(value.right.value * elem))
+                return True
+        rhs = value.right
+        if isinstance(rhs, A.IntLit):
+            b.emit(self._INPLACE_INT[value.op], preg, Imm(rhs.value))
+        else:
+            self.eval_int(rhs, di, df)
+            b.emit(self._INPLACE_INT[value.op], preg, INT_SCRATCH[di])
+        return True
+
+    def gen_assign(
+        self, expr: A.Assign, di: int, df: int, want_value: bool = True
+    ) -> None:
+        """Assignment: in-place accumulation for promoted targets where
+        possible, else evaluate-then-store through the computed address."""
+        b = self.b
+        tty = expr.target.ty
+        assert tty is not None
+        if isinstance(tty, (ArrayType, StructType)):
+            raise self.err("aggregate assignment is unsupported", expr)
+        if self._try_inplace_accumulate(expr, di, df):
+            # as an *expression*, the assignment's value must land in
+            # scratch; statement contexts (ExprStmt, for-steps) pass
+            # want_value=False and skip the copy.
+            if want_value:
+                target = expr.target
+                assert isinstance(target, A.VarRef)
+                preg = self.preg_of(target)
+                if tty.is_float:
+                    b.movsd(FLOAT_SCRATCH[df], preg)
+                else:
+                    b.mov(INT_SCRATCH[di], preg)
+            return
+        preg = self.preg_of(expr.target) if isinstance(expr.target, A.VarRef) else None
+        if tty.is_float:
+            self.eval_float(expr.value, di, df)
+            if preg is not None:
+                b.movsd(preg, FLOAT_SCRATCH[df])
+                return
+            addr, _ = self.eval_addr(expr.target, di)
+            b.movsd(addr.mem(), FLOAT_SCRATCH[df])
+        else:
+            self.eval_int(expr.value, di, df)
+            if preg is not None:
+                b.mov(preg, INT_SCRATCH[di])
+                return
+            addr, _ = self.eval_addr(expr.target, di + 1)
+            b.mov(addr.mem(), INT_SCRATCH[di])
+
+    # ----------------------------------------------------------------- call
+    def gen_call(self, expr: A.Call, di: int, df: int) -> None:
+        """Calls: save live scratch, stack-marshal arguments into ABI
+        registers, call (direct or through r10), land the result."""
+        b = self.b
+        fn = expr.fn
+        fty = fn.ty
+        assert fty is not None
+        if isinstance(fty, PointerType):
+            fty = fty.pointee
+        assert isinstance(fty, FuncType)
+        # Direct call when the callee is a plain function reference
+        # (possibly through an explicit deref of a function name).
+        direct: str | None = None
+        callee_expr: A.Expr = fn
+        if isinstance(callee_expr, A.Deref):
+            callee_expr = callee_expr.expr
+        if isinstance(callee_expr, A.VarRef) and callee_expr.binding == "func":
+            direct = callee_expr.name
+
+        # save live scratch registers
+        for k in range(di):
+            b.push(INT_SCRATCH[k])
+        if df:
+            b.sub(GPR.RSP, 8 * df)
+            for k in range(df):
+                b.movsd(Mem(GPR.RSP, disp=8 * k), FLOAT_SCRATCH[k])
+
+        # evaluate arguments onto the stack, left to right
+        for arg in expr.args:
+            if arg.ty.is_float:  # type: ignore[union-attr]
+                self.eval_float(arg, 0, 0)
+                b.sub(GPR.RSP, 8)
+                b.movsd(Mem(GPR.RSP), FLOAT_SCRATCH[0])
+            else:
+                self.eval_int(arg, 0, 0)
+                b.push(INT_SCRATCH[0])
+        if direct is None:
+            self.eval_int(fn, 0, 0)
+            b.mov(HELPER1, INT_SCRATCH[0])
+        # pop arguments into ABI registers, right to left
+        next_int = sum(1 for a in expr.args if not a.ty.is_float)  # type: ignore[union-attr]
+        next_float = sum(1 for a in expr.args if a.ty.is_float)  # type: ignore[union-attr]
+        for arg in reversed(expr.args):
+            if arg.ty.is_float:  # type: ignore[union-attr]
+                next_float -= 1
+                b.movsd(FLOAT_ARG_REGS[next_float], Mem(GPR.RSP))
+                b.add(GPR.RSP, 8)
+            else:
+                next_int -= 1
+                b.pop(INT_ARG_REGS[next_int])
+        if direct is not None:
+            b.call(Label(direct))
+        else:
+            b.calli(HELPER1)
+        # land the result at the requested depth
+        if fty.ret.is_float:
+            if df:
+                b.movsd(FLOAT_SCRATCH[df], RET_FLOAT)
+            else:
+                b.movsd(FLOAT_SCRATCH[0], RET_FLOAT)
+        elif fty.ret.size:
+            b.mov(HELPER2, RET_INT)
+        # restore saved scratch
+        if df:
+            for k in range(df):
+                b.movsd(FLOAT_SCRATCH[k], Mem(GPR.RSP, disp=8 * k))
+            b.add(GPR.RSP, 8 * df)
+        for k in reversed(range(di)):
+            b.pop(INT_SCRATCH[k])
+        if not fty.ret.is_float and fty.ret.size:
+            b.mov(INT_SCRATCH[di], HELPER2)
+
+
+def gen_function(
+    fn: A.FuncDef, ctx: LinkContext, promote: bool = True
+) -> list[Instruction]:
+    """Generate BX64 for one function; returns builder items (with labels)."""
+    return FunctionCodegen(fn, ctx, promote=promote).generate()

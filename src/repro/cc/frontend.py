@@ -1,0 +1,50 @@
+"""minic compilation drivers.
+
+:func:`compile_source` runs the front half (parse → optimize → sema) and
+returns the analyzed AST — handy for compiler tests.
+
+:func:`compile_into` is the full pipeline into a live image: it places
+globals, generates code with a real link context, lays out and assembles
+every function, and returns a :class:`~repro.cc.linker.CompiledUnit`.
+"""
+
+from __future__ import annotations
+
+from repro.cc import ast_nodes as A
+from repro.cc.codegen import gen_function
+from repro.cc.linker import CompiledUnit, ImageLinkContext, place_functions, place_globals
+from repro.cc.optimizer import optimize_unit
+from repro.cc.parser import parse
+from repro.cc.peephole import peephole
+from repro.cc.sema import analyze
+from repro.machine.image import Image
+
+
+def compile_source(source: str, opt: int = 2) -> A.TranslationUnit:
+    """Parse, optimize and type-check; returns the analyzed AST."""
+    unit = parse(source)
+    optimize_unit(unit, opt)
+    return analyze(unit)
+
+
+def compile_into(
+    image: Image, source: str, opt: int = 2, unit: str = "<unit>"
+) -> CompiledUnit:
+    """Compile ``source`` and link it into ``image``."""
+    ast = compile_source(source, opt)
+    globals_placed = place_globals(image, ast)
+    ctx = ImageLinkContext(image)
+    fn_items: dict[str, list] = {}
+    for fn in ast.functions:
+        items = gen_function(fn, ctx, promote=opt >= 1)
+        if opt >= 1:
+            items = peephole(items)
+        fn_items[fn.name] = items
+    functions_placed = place_functions(image, fn_items)
+    return CompiledUnit(
+        name=unit,
+        ast=ast,
+        functions=functions_placed,
+        globals=globals_placed,
+        items=fn_items,
+    )

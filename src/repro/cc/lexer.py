@@ -1,0 +1,89 @@
+"""minic lexer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "long", "int", "double", "void", "struct", "return", "if", "else",
+    "while", "for", "break", "continue", "extern", "typedef", "sizeof",
+    "noinline", "const",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ",", ";", ".",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|\d+[eE][+-]?\d+))
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position."""
+    kind: str  # "int" | "float" | "ident" | "kw" | "op" | "eof"
+    text: str
+    line: int
+    col: int
+
+    @property
+    def int_value(self) -> int:
+        return int(self.text, 0)
+
+    @property
+    def float_value(self) -> float:
+        return float(self.text)
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens (raises CompileError with position)."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            col = pos - line_start + 1
+            raise CompileError(f"unexpected character {source[pos]!r}", line, col)
+        text = m.group(0)
+        col = pos - line_start + 1
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rfind("\n") + 1
+        elif kind == "ident":
+            tok_kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(tok_kind, text, line, col))
+        elif kind in ("int", "hex"):
+            tokens.append(Token("int", text, line, col))
+        elif kind == "float":
+            tokens.append(Token("float", text, line, col))
+        else:  # op
+            tokens.append(Token("op", text, line, col))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, 1))
+    return tokens

@@ -1,0 +1,125 @@
+"""Linking compiled minic units into a machine image.
+
+Two-pass function layout: every function's encoded length is computable
+before label values are known (see :mod:`repro.isa.encoding` — lengths
+never depend on displacement values), so pass 1 reserves addresses and
+defines symbols, pass 2 assembles each function against the now-complete
+symbol table and pokes the bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError, LinkError
+from repro.cc import ast_nodes as A
+from repro.cc.codegen import LinkContext
+from repro.cc.types import ArrayType, StructType, Type
+from repro.isa.encoding import encode_program, instruction_length
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.machine.image import Image
+
+
+def program_length(items: list[Instruction]) -> int:
+    """Encoded byte length of builder items (label markers are free)."""
+    total = 0
+    for insn in items:
+        if insn.op is Op.NOP and insn.note.startswith("label:") and not insn.operands:
+            continue
+        total += instruction_length(insn)
+    return total
+
+
+class ImageLinkContext(LinkContext):
+    """LinkContext backed by a real image: globals resolve to their
+    placed addresses, float literals go to a deduplicated rodata pool."""
+
+    def __init__(self, image: Image) -> None:
+        self.image = image
+
+    def global_address(self, name: str) -> int:
+        return self.image.symbol(name)
+
+    def float_literal(self, value: float) -> int:
+        return self.image.float_literal(value)
+
+
+def _init_bytes(ty: Type, init: A.Initializer | None) -> bytes:
+    """Serialize a (sema-normalized) global initializer."""
+    if init is None:
+        return b"\x00" * ty.size
+    if isinstance(init, A.InitList):
+        if isinstance(ty, ArrayType):
+            parts = [_init_bytes(ty.elem, item) for item in init.items]
+            parts.append(b"\x00" * (ty.size - sum(len(p) for p in parts)))
+            return b"".join(parts)
+        if isinstance(ty, StructType):
+            parts = []
+            for (fname, ftype), item in zip(ty.fields, list(init.items) + [None] * len(ty.fields)):
+                parts.append(_init_bytes(ftype, item))
+                if len(parts) == len(ty.fields):
+                    break
+            return b"".join(parts)
+        raise LinkError(f"brace initializer for scalar type {ty}")
+    if isinstance(init, A.FloatLit):
+        return struct.pack("<d", init.value)
+    if isinstance(init, A.IntLit):
+        return struct.pack("<q", init.value) if -(2**63) <= init.value < 2**63 else struct.pack(
+            "<Q", init.value & ((1 << 64) - 1)
+        )
+    raise LinkError(f"unsupported global initializer {type(init).__name__}")
+
+
+@dataclass
+class CompiledUnit:
+    """Result of loading one minic unit into an image."""
+
+    name: str
+    ast: A.TranslationUnit
+    functions: dict[str, int] = field(default_factory=dict)
+    globals: dict[str, int] = field(default_factory=dict)
+    #: Pre-encode builder items per function (useful for tests/debug).
+    items: dict[str, list[Instruction]] = field(default_factory=dict)
+
+
+def place_globals(image: Image, unit_ast: A.TranslationUnit) -> dict[str, int]:
+    """Serialize and place every global; must run *before* codegen so the
+    LinkContext can hand out real addresses."""
+    placed: dict[str, int] = {}
+    for g in unit_ast.globals:
+        data = _init_bytes(g.var_type, g.init)
+        if g.const:
+            addr = image.add_rodata(g.name, data)
+        else:
+            addr = image.add_data(g.name, data)
+        placed[g.name] = addr
+    return placed
+
+
+def place_functions(
+    image: Image, fn_items: dict[str, list[Instruction]]
+) -> dict[str, int]:
+    """Two-pass layout + assembly of generated functions (see module doc)."""
+    placed: dict[str, int] = {}
+    ordered = list(fn_items.items())
+    # pass 1: reserve space + define symbols
+    for name, items in ordered:
+        length = program_length(items)
+        addr = image.add_function(name, b"\x00" * length)
+        placed[name] = addr
+    # pass 2: assemble against the complete symbol table
+    for name, items in ordered:
+        addr = placed[name]
+        try:
+            code, _ = encode_program(items, addr, extra_labels=image.symbols)
+        except EncodingError as exc:
+            raise LinkError(f"while linking {name}: {exc}") from exc
+        if len(code) != program_length(items):
+            raise LinkError(
+                f"layout mismatch in {name}: planned {program_length(items)} "
+                f"bytes, assembled {len(code)}"
+            )
+        image.poke(addr, code)
+    return placed

@@ -1,0 +1,404 @@
+"""minic AST-level optimizations.
+
+Runs *before* semantic analysis (generated nodes are typed by the later
+sema pass).  Three passes, gated by optimization level:
+
+``-O1``  constant folding.
+
+``-O2``  additionally:
+
+* **statement-level inlining** of direct calls to single-``return``
+  functions (unless declared ``noinline``) — this is what makes the
+  paper's "manual stencil in the same compilation unit" measurement
+  (0.74 s → 0.48 s) reproducible: the compiler, not the rewriter,
+  removes the call overhead when it can see the callee;
+* **loop normalization**: a counted ``for`` loop whose start value is
+  not a literal gets a fresh induction variable counting from 0, with
+  the original variable recomputed as ``start + t`` in the body.  This
+  deliberately reproduces the gcc ``-O2`` behaviour that *defeats* the
+  paper's ``makeDynamic`` trick (Sec. V.C): "the compiler created
+  another loop count variable still starting at 0, and where the
+  original loop count was required, it added the value returned from
+  makeDynamic before.  Thus, there still was a constant known value
+  which changed in each iteration, resulting in complete unrolling
+  again."
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+
+from repro.cc import ast_nodes as A
+
+_counter = itertools.count()
+
+
+def _long_type():
+    from repro.cc.types import LONG
+
+    return LONG
+
+
+# ------------------------------------------------------------ const folding
+def _fold_expr(expr: A.Expr) -> A.Expr:
+    """Bottom-up constant folding (syntactic; types not yet known)."""
+    for field_name in ("expr", "left", "right", "target", "value", "fn", "base", "index"):
+        child = getattr(expr, field_name, None)
+        if isinstance(child, A.Expr):
+            setattr(expr, field_name, _fold_expr(child))
+    if isinstance(expr, A.Call):
+        expr.args = [_fold_expr(a) for a in expr.args]
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        inner = expr.expr
+        if isinstance(inner, A.IntLit):
+            return A.IntLit(value=-inner.value, line=expr.line, col=expr.col)
+        if isinstance(inner, A.FloatLit):
+            return A.FloatLit(value=-inner.value, line=expr.line, col=expr.col)
+    if isinstance(expr, A.Binary):
+        left, right = expr.left, expr.right
+        if isinstance(left, A.IntLit) and isinstance(right, A.IntLit):
+            folded = _fold_int(expr.op, left.value, right.value)
+            if folded is not None:
+                return A.IntLit(value=folded, line=expr.line, col=expr.col)
+        if (
+            isinstance(left, (A.IntLit, A.FloatLit))
+            and isinstance(right, (A.IntLit, A.FloatLit))
+            and (isinstance(left, A.FloatLit) or isinstance(right, A.FloatLit))
+            and expr.op in ("+", "-", "*", "/")
+        ):
+            a = float(left.value)
+            b = float(right.value)
+            if not (expr.op == "/" and b == 0.0):
+                value = {"+": a + b, "-": a - b, "*": a * b, "/": a / b if b else 0.0}[expr.op]
+                return A.FloatLit(value=value, line=expr.line, col=expr.col)
+    return expr
+
+
+def _fold_int(op: str, a: int, b: int) -> int | None:
+    try:
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                return None
+            q = abs(a) // abs(b)
+            return -q if (a < 0) != (b < 0) else q
+        if op == "%":
+            if b == 0:
+                return None
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            return a - q * b
+        if op == "<<":
+            return a << (b & 63)
+        if op == ">>":
+            return a >> (b & 63)
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+    except (OverflowError, ValueError):  # pragma: no cover
+        return None
+    return None
+
+
+def _fold_stmt(stmt: A.Stmt) -> None:
+    if isinstance(stmt, A.Block):
+        for s in stmt.stmts:
+            _fold_stmt(s)
+    elif isinstance(stmt, A.ExprStmt):
+        stmt.expr = _fold_expr(stmt.expr)
+    elif isinstance(stmt, A.VarDecl):
+        if isinstance(stmt.init, A.Expr):
+            stmt.init = _fold_expr(stmt.init)
+    elif isinstance(stmt, A.If):
+        stmt.cond = _fold_expr(stmt.cond)
+        _fold_stmt(stmt.then)
+        if stmt.els is not None:
+            _fold_stmt(stmt.els)
+    elif isinstance(stmt, A.While):
+        stmt.cond = _fold_expr(stmt.cond)
+        _fold_stmt(stmt.body)
+    elif isinstance(stmt, A.For):
+        if stmt.init is not None:
+            _fold_stmt(stmt.init)
+        if stmt.cond is not None:
+            stmt.cond = _fold_expr(stmt.cond)
+        if stmt.step is not None:
+            stmt.step = _fold_expr(stmt.step)
+        _fold_stmt(stmt.body)
+    elif isinstance(stmt, A.Return):
+        if stmt.expr is not None:
+            stmt.expr = _fold_expr(stmt.expr)
+
+
+# ---------------------------------------------------------------- inlining
+def _inlinable(fn: A.FuncDef) -> bool:
+    if fn.noinline:
+        return False
+    if len(fn.body.stmts) != 1 or not isinstance(fn.body.stmts[0], A.Return):
+        return False
+    ret = fn.body.stmts[0]
+    if ret.expr is None:
+        return False
+    return not _references(ret.expr, fn.name)  # no self-recursion
+
+
+def _references(expr: A.Expr, name: str) -> bool:
+    if isinstance(expr, A.VarRef):
+        return expr.name == name
+    found = False
+    for field_name in ("expr", "left", "right", "target", "value", "fn", "base", "index"):
+        child = getattr(expr, field_name, None)
+        if isinstance(child, A.Expr) and _references(child, name):
+            found = True
+    if isinstance(expr, A.Call):
+        found = found or any(_references(a, name) for a in expr.args)
+    return found
+
+
+def _substitute(expr: A.Expr, mapping: dict[str, str]) -> A.Expr:
+    """Deep-copy ``expr`` renaming VarRefs per ``mapping``."""
+    expr = copy.deepcopy(expr)
+
+    def walk(e: A.Expr) -> None:
+        if isinstance(e, A.VarRef) and e.name in mapping:
+            e.name = mapping[e.name]
+        for field_name in ("expr", "left", "right", "target", "value", "fn", "base", "index"):
+            child = getattr(e, field_name, None)
+            if isinstance(child, A.Expr):
+                walk(child)
+        if isinstance(e, A.Call):
+            for a in e.args:
+                walk(a)
+
+    walk(expr)
+    return expr
+
+
+class _Inliner:
+    def __init__(self, unit: A.TranslationUnit) -> None:
+        self.callable_fns = {f.name: f for f in unit.functions if _inlinable(f)}
+
+    def rewrite_block(self, block: A.Block) -> None:
+        """Inline eligible calls in every statement of ``block``, in place."""
+        out: list[A.Stmt] = []
+        for stmt in block.stmts:
+            out.append(self._rewrite_stmt(stmt))
+        block.stmts = out
+
+    def _rewrite_stmt(self, stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.Block):
+            self.rewrite_block(stmt)
+            return stmt
+        if isinstance(stmt, A.If):
+            stmt.then = self._rewrite_stmt(stmt.then)
+            if stmt.els is not None:
+                stmt.els = self._rewrite_stmt(stmt.els)
+            return stmt
+        if isinstance(stmt, A.While):
+            stmt.body = self._rewrite_stmt(stmt.body)
+            return stmt
+        if isinstance(stmt, A.For):
+            stmt.body = self._rewrite_stmt(stmt.body)
+            return stmt
+        call, rebuild = self._extract_call(stmt)
+        if call is None:
+            return stmt
+        target = self.callable_fns.get(self._direct_callee(call) or "")
+        if target is None:
+            return stmt
+        return self._inline_call(call, target, rebuild, stmt)
+
+    @staticmethod
+    def _direct_callee(call: A.Call) -> str | None:
+        fn = call.fn
+        if isinstance(fn, A.Deref):
+            fn = fn.expr
+        if isinstance(fn, A.VarRef):
+            return fn.name
+        return None
+
+    @staticmethod
+    def _extract_call(stmt: A.Stmt):
+        """Return (call, rebuild(new_expr) -> stmt) when the statement's
+        value is directly one call."""
+        if isinstance(stmt, A.ExprStmt):
+            if isinstance(stmt.expr, A.Call):
+                return stmt.expr, lambda e: A.ExprStmt(expr=e, line=stmt.line, col=stmt.col)
+            if isinstance(stmt.expr, A.Assign) and isinstance(stmt.expr.value, A.Call):
+                assign = stmt.expr
+
+                def rebuild(e: A.Expr) -> A.Stmt:
+                    return A.ExprStmt(
+                        expr=A.Assign(target=assign.target, value=e,
+                                      line=assign.line, col=assign.col),
+                        line=stmt.line, col=stmt.col,
+                    )
+
+                return assign.value, rebuild
+        if isinstance(stmt, A.VarDecl) and isinstance(stmt.init, A.Call):
+            def rebuild_decl(e: A.Expr) -> A.Stmt:
+                return A.VarDecl(name=stmt.name, var_type=stmt.var_type, init=e,
+                                 line=stmt.line, col=stmt.col)
+
+            return stmt.init, rebuild_decl
+        if isinstance(stmt, A.Return) and isinstance(stmt.expr, A.Call):
+            return stmt.expr, lambda e: A.Return(expr=e, line=stmt.line, col=stmt.col)
+        return None, None
+
+    def _inline_call(
+        self, call: A.Call, target: A.FuncDef, rebuild, original: A.Stmt
+    ) -> A.Stmt:
+        n = next(_counter)
+        decls: list[A.Stmt] = []
+        mapping: dict[str, str] = {}
+        for pname, ptype, arg in zip(
+            target.param_names, target.func_type.params, call.args
+        ):
+            temp = f"__inl{n}_{pname}"
+            mapping[pname] = temp
+            decls.append(
+                A.VarDecl(name=temp, var_type=ptype, init=copy.deepcopy(arg),
+                          line=original.line, col=original.col)
+            )
+        ret = target.body.stmts[0]
+        assert isinstance(ret, A.Return) and ret.expr is not None
+        body_expr = _substitute(ret.expr, mapping)
+        return A.Block(stmts=decls + [rebuild(body_expr)],
+                       line=original.line, col=original.col)
+
+
+# ------------------------------------------------------ loop normalization
+def _is_incr_of(expr: A.Expr | None, name: str) -> bool:
+    """Matches ``name = name + 1`` (which ``name++`` desugars to)."""
+    return (
+        isinstance(expr, A.Assign)
+        and isinstance(expr.target, A.VarRef)
+        and expr.target.name == name
+        and isinstance(expr.value, A.Binary)
+        and expr.value.op == "+"
+        and isinstance(expr.value.left, A.VarRef)
+        and expr.value.left.name == name
+        and isinstance(expr.value.right, A.IntLit)
+        and expr.value.right.value == 1
+    )
+
+
+def _normalize_loops(stmt: A.Stmt) -> A.Stmt:
+    if isinstance(stmt, A.Block):
+        stmt.stmts = [_normalize_loops(s) for s in stmt.stmts]
+        return stmt
+    if isinstance(stmt, A.If):
+        stmt.then = _normalize_loops(stmt.then)
+        if stmt.els is not None:
+            stmt.els = _normalize_loops(stmt.els)
+        return stmt
+    if isinstance(stmt, A.While):
+        stmt.body = _normalize_loops(stmt.body)
+        return stmt
+    if not isinstance(stmt, A.For):
+        return stmt
+    stmt.body = _normalize_loops(stmt.body)
+    init = stmt.init
+    # Two shapes: `for (long y = E; ...)` and `for (y = E; ...)` with y
+    # declared outside (the paper's Fig. in Sec. V.C uses the latter).
+    y: str | None = None
+    start_expr: A.Expr | None = None
+    decl_type = None
+    if (
+        isinstance(init, A.VarDecl)
+        and isinstance(init.init, A.Expr)
+    ):
+        y, start_expr, decl_type = init.name, init.init, init.var_type
+    elif (
+        isinstance(init, A.ExprStmt)
+        and isinstance(init.expr, A.Assign)
+        and isinstance(init.expr.target, A.VarRef)
+    ):
+        y, start_expr = init.expr.target.name, init.expr.value
+    if not (
+        y is not None
+        and start_expr is not None
+        and not isinstance(start_expr, (A.IntLit, A.FloatLit))
+        and _is_incr_of(stmt.step, y)
+        and stmt.cond is not None
+    ):
+        return stmt
+    # for (y = E; cond(y); y++) BODY   with E non-literal
+    #   -> { long y0 = E; long t = 0;
+    #        for (;; t++) { y = t + y0; if (!cond(y)) break; BODY } }
+    n = next(_counter)
+    y0 = f"__norm{n}_start"
+    t = f"__norm{n}_i"
+    line, col = stmt.line, stmt.col
+    recompute_value = A.Binary(
+        op="+", left=A.VarRef(name=t, line=line, col=col),
+        right=A.VarRef(name=y0, line=line, col=col), line=line, col=col,
+    )
+    recompute: A.Stmt
+    if decl_type is not None:
+        recompute = A.VarDecl(name=y, var_type=decl_type, init=recompute_value,
+                              line=line, col=col)
+    else:
+        recompute = A.ExprStmt(
+            expr=A.Assign(target=A.VarRef(name=y, line=line, col=col),
+                          value=recompute_value, line=line, col=col),
+            line=line, col=col,
+        )
+    guard = A.If(
+        cond=A.Unary(op="!", expr=stmt.cond, line=line, col=col),
+        then=A.Break(line=line, col=col),
+        line=line, col=col,
+    )
+    new_body = A.Block(stmts=[recompute, guard, stmt.body], line=line, col=col)
+    new_for = A.For(
+        init=None,
+        cond=None,
+        step=A.Assign(
+            target=A.VarRef(name=t, line=line, col=col),
+            value=A.Binary(op="+", left=A.VarRef(name=t, line=line, col=col),
+                           right=A.IntLit(value=1, line=line, col=col),
+                           line=line, col=col),
+            line=line, col=col,
+        ),
+        body=new_body, line=line, col=col,
+    )
+    return A.Block(
+        stmts=[
+            A.VarDecl(name=y0, var_type=decl_type or _long_type(), init=start_expr,
+                      line=line, col=col),
+            A.VarDecl(name=t, var_type=decl_type or _long_type(),
+                      init=A.IntLit(value=0, line=line, col=col), line=line, col=col),
+            new_for,
+        ],
+        line=line, col=col,
+    )
+
+
+# ----------------------------------------------------------------- driver
+def optimize_unit(unit: A.TranslationUnit, opt: int) -> A.TranslationUnit:
+    """Apply AST-level passes for optimization level ``opt`` (0, 1, 2)."""
+    if opt >= 1:
+        for fn in unit.functions:
+            _fold_stmt(fn.body)
+    if opt >= 2:
+        inliner = _Inliner(unit)
+        # the inlinable set is snapshotted first, so chains inline one
+        # level per compilation (f gets g's original single-return body);
+        # self-recursion is already excluded by _inlinable
+        for fn in unit.functions:
+            inliner.rewrite_block(fn.body)
+        for fn in unit.functions:
+            fn.body = _normalize_loops(fn.body)  # type: ignore[assignment]
+            assert isinstance(fn.body, A.Block)
+        for fn in unit.functions:
+            _fold_stmt(fn.body)  # clean up after inlining
+    return unit

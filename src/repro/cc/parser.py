@@ -1,0 +1,511 @@
+"""minic recursive-descent parser.
+
+Notable divergences from C, all documented here and in the package doc:
+
+* ``int`` is an alias for ``long`` (the paper's snippets use ``int``;
+  minic has a single 64-bit integer type);
+* compound assignment and ``++``/``--`` are desugared into plain
+  assignments whose value is the *new* value (pre-increment semantics);
+  the lvalue is re-evaluated, so side-effecting lvalues are rejected by
+  sema rather than miscompiled;
+* declarators support the subset the paper needs: pointers, arrays,
+  function-pointer declarators ``ret (*name)(params)`` (also via
+  ``typedef``), but not arbitrarily nested declarators.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.cc import ast_nodes as A
+from repro.cc.lexer import Token, tokenize
+from repro.cc.types import (
+    DOUBLE, LONG, VOID, ArrayType, FuncType, PointerType, StructType, Type,
+)
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+_BINARY_LEVELS: list[list[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Recursive-descent parser with typedef and struct registries."""
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.typedefs: dict[str, Type] = {}
+        self.structs: dict[str, StructType] = {}
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        tok = self.tok
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.tok.text == text and self.tok.kind in ("op", "kw")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise CompileError(
+                f"expected {text!r}, found {str(self.tok)!r}", self.tok.line, self.tok.col
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.tok.kind != "ident":
+            raise CompileError(
+                f"expected identifier, found {str(self.tok)!r}", self.tok.line, self.tok.col
+            )
+        return self.advance()
+
+    def error(self, message: str) -> CompileError:
+        return CompileError(message, self.tok.line, self.tok.col)
+
+    # --------------------------------------------------------------- types
+    def at_type_start(self) -> bool:
+        """Does the current token begin a type name? (decl/cast detection)"""
+        tok = self.tok
+        if tok.kind == "kw" and tok.text in ("long", "int", "double", "void", "struct", "const"):
+            return True
+        return tok.kind == "ident" and tok.text in self.typedefs
+
+    def parse_base_type(self) -> Type:
+        """Parse a base type: long/int/double/void/struct tag/typedef name."""
+        self.accept("const")  # const-ness is tracked per-declaration, not per-type
+        tok = self.tok
+        if tok.text in ("long", "int"):
+            self.advance()
+            return LONG
+        if tok.text == "double":
+            self.advance()
+            return DOUBLE
+        if tok.text == "void":
+            self.advance()
+            return VOID
+        if tok.text == "struct":
+            self.advance()
+            tag = self.expect_ident().text
+            st = self.structs.get(tag)
+            if st is None:
+                st = StructType(tag=tag)
+                self.structs[tag] = st
+            if self.check("{"):
+                self._parse_struct_body(st)
+            return st
+        if tok.kind == "ident" and tok.text in self.typedefs:
+            self.advance()
+            return self.typedefs[tok.text]
+        raise self.error(f"expected a type, found {str(tok)!r}")
+
+    def _parse_struct_body(self, st: StructType) -> None:
+        if st.complete:
+            raise self.error(f"redefinition of struct {st.tag}")
+        self.expect("{")
+        fields: list[tuple[str, Type]] = []
+        while not self.check("}"):
+            base = self.parse_base_type()
+            while True:
+                ftype, fname = self.parse_declarator(base)
+                if fname is None:
+                    raise self.error("struct field needs a name")
+                fields.append((fname, ftype))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        self.expect("}")
+        st.fields = fields
+        st.complete = True
+
+    def parse_declarator(self, base: Type) -> tuple[Type, str | None]:
+        """Parse ``*`` prefixes, the name (optional), and array / function
+        suffixes.  Supports the function-pointer form ``(*name)(params)``."""
+        t = base
+        while self.accept("*"):
+            t = PointerType(t)
+        # function pointer: ( * name? ) ( params )
+        if self.check("(") and self.peek().text == "*":
+            self.expect("(")
+            self.expect("*")
+            name = self.expect_ident().text if self.tok.kind == "ident" else None
+            self.expect(")")
+            params = self.parse_param_types()
+            return PointerType(FuncType(t, tuple(params))), name
+        name = None
+        if self.tok.kind == "ident":
+            name = self.advance().text
+        # suffixes
+        if self.check("("):
+            params = self.parse_param_types()
+            return FuncType(t, tuple(params)), name
+        dims: list[int] = []
+        while self.accept("["):
+            if self.tok.kind != "int":
+                raise self.error("array dimension must be an integer literal")
+            dims.append(self.advance().int_value)
+            self.expect("]")
+        for dim in reversed(dims):
+            t = ArrayType(t, dim)
+        return t, name
+
+    def parse_param_types(self) -> list[Type]:
+        """Parse ``(type name?, ...)`` returning just the types (used for
+        function-pointer declarators and typedefs)."""
+        types, _ = self.parse_params()
+        return types
+
+    def parse_params(self) -> tuple[list[Type], list[str]]:
+        """Parse a parenthesized parameter list; returns (types, names)."""
+        self.expect("(")
+        types: list[Type] = []
+        names: list[str] = []
+        if self.accept(")"):
+            self._last_param_names = []
+            return types, names
+        if self.check("void") and self.peek().text == ")":
+            self.advance()
+            self.expect(")")
+            self._last_param_names = []
+            return types, names
+        while True:
+            base = self.parse_base_type()
+            ptype, pname = self.parse_declarator(base)
+            if isinstance(ptype, ArrayType):
+                ptype = PointerType(ptype.elem)  # parameter decay
+            types.append(ptype)
+            names.append(pname or f"__arg{len(names)}")
+            if not self.accept(","):
+                break
+        self.expect(")")
+        # Stash the names: FuncDef parsing needs them, but the declarator
+        # path only propagates types.
+        self._last_param_names = list(names)
+        return types, names
+
+    # ----------------------------------------------------------- top level
+    def parse_unit(self) -> A.TranslationUnit:
+        """Parse a whole source file."""
+        items: list[A.Node] = []
+        while self.tok.kind != "eof":
+            item = self.parse_top_item()
+            if item is not None:
+                items.append(item)
+        return A.TranslationUnit(items=items)
+
+    def parse_top_item(self) -> A.Node | None:
+        """Parse one top-level item (typedef/extern/function/global)."""
+        line, col = self.tok.line, self.tok.col
+        if self.accept("typedef"):
+            base = self.parse_base_type()
+            t, name = self.parse_declarator(base)
+            if name is None:
+                raise self.error("typedef needs a name")
+            self.expect(";")
+            self.typedefs[name] = t
+            return None
+        if self.accept("extern"):
+            base = self.parse_base_type()
+            t, name = self.parse_declarator(base)
+            if name is None:
+                raise self.error("extern declaration needs a name")
+            self.expect(";")
+            return A.ExternDecl(name=name, decl_type=t, line=line, col=col)
+        noinline = self.accept("noinline")
+        const = self.check("const")  # consumed inside parse_base_type
+        base = self.parse_base_type()
+        if self.accept(";"):  # bare struct definition
+            return None
+        t, name = self.parse_declarator(base)
+        if name is None:
+            raise self.error("declaration needs a name")
+        if isinstance(t, FuncType):
+            # capture now: declarators inside the body overwrite the stash
+            param_names = list(self._last_param_names)
+            if self.check("{"):
+                body = self.parse_block()
+                return A.FuncDef(
+                    name=name,
+                    func_type=t,
+                    param_names=param_names,
+                    body=body,
+                    noinline=noinline,
+                    line=line,
+                    col=col,
+                )
+            self.expect(";")  # prototype
+            return A.ExternDecl(name=name, decl_type=t, line=line, col=col)
+        init = None
+        if self.accept("="):
+            init = self.parse_initializer()
+        self.expect(";")
+        return A.GlobalVar(name=name, var_type=t, init=init, const=const, line=line, col=col)
+
+    # parse_declarator calls parse_params indirectly; stash names there.
+    _last_param_names: list[str] = []
+
+    def parse_initializer(self) -> A.Initializer:
+        if self.check("{"):
+            line, col = self.tok.line, self.tok.col
+            self.expect("{")
+            items: list[A.Initializer] = []
+            while not self.check("}"):
+                items.append(self.parse_initializer())
+                if not self.accept(","):
+                    break
+            self.expect("}")
+            return A.InitList(items=items, line=line, col=col)
+        return self.parse_assignment()
+
+    # ---------------------------------------------------------- statements
+    def parse_block(self) -> A.Block:
+        """Parse a braced statement block."""
+        line, col = self.tok.line, self.tok.col
+        self.expect("{")
+        stmts: list[A.Stmt] = []
+        while not self.check("}"):
+            stmts.extend(self.parse_stmt())
+        self.expect("}")
+        return A.Block(stmts=stmts, line=line, col=col)
+
+    def parse_stmt(self) -> list[A.Stmt]:
+        """Returns a list because one declaration line can declare several
+        variables."""
+        tok = self.tok
+        line, col = tok.line, tok.col
+        if self.check("{"):
+            return [self.parse_block()]
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self._single_stmt()
+            els = self._single_stmt() if self.accept("else") else None
+            return [A.If(cond=cond, then=then, els=els, line=line, col=col)]
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            body = self._single_stmt()
+            return [A.While(cond=cond, body=body, line=line, col=col)]
+        if self.accept("for"):
+            self.expect("(")
+            init: A.Stmt | None = None
+            if not self.accept(";"):
+                parts = self.parse_simple_stmt()
+                if len(parts) == 1:
+                    init = parts[0]
+                else:
+                    init = A.Block(stmts=parts, line=line, col=col)
+                self.expect(";")
+            cond = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            step = None if self.check(")") else self.parse_expr()
+            self.expect(")")
+            body = self._single_stmt()
+            return [A.For(init=init, cond=cond, step=step, body=body, line=line, col=col)]
+        if self.accept("return"):
+            expr = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return [A.Return(expr=expr, line=line, col=col)]
+        if self.accept("break"):
+            self.expect(";")
+            return [A.Break(line=line, col=col)]
+        if self.accept("continue"):
+            self.expect(";")
+            return [A.Continue(line=line, col=col)]
+        if self.accept(";"):
+            return []
+        stmts = self.parse_simple_stmt()
+        self.expect(";")
+        return stmts
+
+    def _single_stmt(self) -> A.Stmt:
+        stmts = self.parse_stmt()
+        if len(stmts) == 1:
+            return stmts[0]
+        return A.Block(stmts=stmts)
+
+    def parse_simple_stmt(self) -> list[A.Stmt]:
+        """A declaration (possibly multi-declarator) or expression, without
+        the trailing semicolon (shared by statements and for-inits)."""
+        line, col = self.tok.line, self.tok.col
+        if self.at_type_start():
+            base = self.parse_base_type()
+            out: list[A.Stmt] = []
+            while True:
+                t, name = self.parse_declarator(base)
+                if name is None:
+                    raise self.error("declaration needs a name")
+                init = self.parse_initializer() if self.accept("=") else None
+                out.append(A.VarDecl(name=name, var_type=t, init=init, line=line, col=col))
+                if not self.accept(","):
+                    break
+            return out
+        expr = self.parse_expr()
+        return [A.ExprStmt(expr=expr, line=line, col=col)]
+
+    # --------------------------------------------------------- expressions
+    def parse_expr(self) -> A.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> A.Expr:
+        """Assignment level, incl. compound-assignment desugaring."""
+        left = self.parse_binary(0)
+        tok = self.tok
+        if self.accept("="):
+            value = self.parse_assignment()
+            return A.Assign(target=left, value=value, line=tok.line, col=tok.col)
+        if tok.text in _COMPOUND_OPS and tok.kind == "op":
+            self.advance()
+            value = self.parse_assignment()
+            combined = A.Binary(
+                op=_COMPOUND_OPS[tok.text], left=left, right=value,
+                line=tok.line, col=tok.col,
+            )
+            return A.Assign(target=left, value=combined, line=tok.line, col=tok.col)
+        return left
+
+    def parse_binary(self, level: int) -> A.Expr:
+        """Precedence climbing over _BINARY_LEVELS."""
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.tok.kind == "op" and self.tok.text in ops:
+            tok = self.advance()
+            right = self.parse_binary(level + 1)
+            left = A.Binary(op=tok.text, left=left, right=right, line=tok.line, col=tok.col)
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        """Prefix operators, casts and sizeof."""
+        tok = self.tok
+        if tok.kind == "op":
+            if tok.text in ("-", "!", "~"):
+                self.advance()
+                return A.Unary(op=tok.text, expr=self.parse_unary(), line=tok.line, col=tok.col)
+            if tok.text == "*":
+                self.advance()
+                return A.Deref(expr=self.parse_unary(), line=tok.line, col=tok.col)
+            if tok.text == "&":
+                self.advance()
+                return A.AddrOf(expr=self.parse_unary(), line=tok.line, col=tok.col)
+            if tok.text in ("++", "--"):
+                self.advance()
+                target = self.parse_unary()
+                return self._incdec(target, tok)
+            if tok.text == "(" and self._is_cast_start():
+                self.advance()
+                target_type = self.parse_base_type()
+                while self.accept("*"):
+                    target_type = PointerType(target_type)
+                # abstract function-pointer declarator in a cast
+                if self.check("(") and self.peek().text == "*":
+                    self.expect("(")
+                    self.expect("*")
+                    self.expect(")")
+                    params = self.parse_param_types()
+                    target_type = PointerType(FuncType(target_type, tuple(params)))
+                self.expect(")")
+                expr = self.parse_unary()
+                return A.Cast(target_type=target_type, expr=expr, line=tok.line, col=tok.col)
+        if tok.text == "sizeof" and tok.kind == "kw":
+            self.advance()
+            self.expect("(")
+            target_type = self.parse_base_type()
+            while self.accept("*"):
+                target_type = PointerType(target_type)
+            self.expect(")")
+            return A.SizeOf(target_type=target_type, line=tok.line, col=tok.col)
+        return self.parse_postfix()
+
+    def _is_cast_start(self) -> bool:
+        nxt = self.peek()
+        if nxt.kind == "kw" and nxt.text in ("long", "int", "double", "void", "struct", "const"):
+            return True
+        return nxt.kind == "ident" and nxt.text in self.typedefs
+
+    def _incdec(self, target: A.Expr, tok: Token) -> A.Expr:
+        op = "+" if tok.text == "++" else "-"
+        one = A.IntLit(value=1, line=tok.line, col=tok.col)
+        combined = A.Binary(op=op, left=target, right=one, line=tok.line, col=tok.col)
+        return A.Assign(target=target, value=combined, line=tok.line, col=tok.col)
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.tok
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = A.Index(base=expr, index=index, line=tok.line, col=tok.col)
+            elif self.accept("("):
+                args: list[A.Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = A.Call(fn=expr, args=args, line=tok.line, col=tok.col)
+            elif self.accept("."):
+                name = self.expect_ident().text
+                expr = A.Member(base=expr, name=name, arrow=False, line=tok.line, col=tok.col)
+            elif self.accept("->"):
+                name = self.expect_ident().text
+                expr = A.Member(base=expr, name=name, arrow=True, line=tok.line, col=tok.col)
+            elif tok.text in ("++", "--") and tok.kind == "op":
+                self.advance()
+                expr = self._incdec(expr, tok)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        """Literals, identifiers, parenthesized expressions."""
+        tok = self.tok
+        if tok.kind == "int":
+            self.advance()
+            return A.IntLit(value=tok.int_value, line=tok.line, col=tok.col)
+        if tok.kind == "float":
+            self.advance()
+            return A.FloatLit(value=tok.float_value, line=tok.line, col=tok.col)
+        if tok.kind == "ident":
+            self.advance()
+            return A.VarRef(name=tok.text, line=tok.line, col=tok.col)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise self.error(f"unexpected token {str(tok)!r} in expression")
+
+
+def parse(source: str) -> A.TranslationUnit:
+    """Parse minic ``source`` into an (unanalyzed) AST."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,168 @@
+"""Register promotion for minic (-O1 and above).
+
+Scalar locals and parameters whose address is never taken are promoted
+to dedicated registers for the whole function, the way gcc -O2 allocates
+hot scalars — without this, every local access is a stack round-trip and
+the *manual* stencil variant of Sec. V would be unfairly slow relative
+to rewriter output (see DESIGN.md §5).
+
+* integer/pointer variables use callee-saved registers
+  (``rbx r12 r13 r14 r15``), saved/restored in the prologue/epilogue, so
+  they survive calls;
+* double variables use ``xmm12..xmm15`` and are only promoted in
+  functions that make **no calls** (the ABI has no callee-saved XMM
+  registers);
+* candidates are ranked by (loop-weighted) use count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc import ast_nodes as A
+from repro.cc.types import Type
+from repro.isa.registers import GPR, XMM
+
+INT_PROMOTE_POOL: tuple[GPR, ...] = (GPR.RBX, GPR.R12, GPR.R13, GPR.R14, GPR.R15)
+FLOAT_PROMOTE_POOL: tuple[XMM, ...] = (XMM.XMM12, XMM.XMM13, XMM.XMM14, XMM.XMM15)
+
+#: Use-count multiplier per loop nesting level.
+LOOP_WEIGHT = 8
+
+
+def _decl_key(ref: A.VarRef) -> object | None:
+    """The same key FunctionCodegen.slots uses."""
+    from repro.cc.sema import ParamBinding
+
+    decl = getattr(ref, "decl", None)
+    if isinstance(decl, ParamBinding):
+        return ("param", decl.name)
+    if isinstance(decl, A.VarDecl):
+        return id(decl)
+    return None
+
+
+@dataclass
+class _Candidate:
+    key: object
+    ty: Type
+    uses: int = 0
+    address_taken: bool = False
+
+
+@dataclass
+class PromotionPlan:
+    """Result of the analysis: variable key -> register."""
+
+    regs: dict[object, GPR | XMM] = field(default_factory=dict)
+    saved_gprs: list[GPR] = field(default_factory=list)
+    has_calls: bool = False
+
+    def reg_of(self, key: object) -> GPR | XMM | None:
+        return self.regs.get(key)
+
+
+class _Walker:
+    def __init__(self) -> None:
+        self.candidates: dict[object, _Candidate] = {}
+        self.has_calls = False
+        self.loop_depth = 0
+
+    # -- expressions ------------------------------------------------------
+    def expr(self, e: A.Expr | None) -> None:
+        """Count variable uses; record address-taken and call facts."""
+        if e is None:
+            return
+        if isinstance(e, A.VarRef):
+            key = _decl_key(e)
+            if key is not None and e.ty is not None and e.ty.is_scalar:
+                cand = self.candidates.setdefault(key, _Candidate(key, e.ty))
+                cand.uses += LOOP_WEIGHT**self.loop_depth
+            return
+        if isinstance(e, A.AddrOf):
+            inner = e.expr
+            if isinstance(inner, A.VarRef):
+                key = _decl_key(inner)
+                if key is not None:
+                    cand = self.candidates.setdefault(
+                        key, _Candidate(key, inner.ty or inner.ty)  # type: ignore[arg-type]
+                    )
+                    cand.address_taken = True
+                return
+            self.expr(inner)
+            return
+        if isinstance(e, A.Call):
+            self.has_calls = True
+            self.expr(e.fn)
+            for a in e.args:
+                self.expr(a)
+            return
+        for name in ("expr", "left", "right", "target", "value", "base", "index"):
+            child = getattr(e, name, None)
+            if isinstance(child, A.Expr):
+                self.expr(child)
+
+    # -- statements --------------------------------------------------------
+    def stmt(self, s: A.Stmt | None) -> None:
+        if s is None:
+            return
+        if isinstance(s, A.Block):
+            for inner in s.stmts:
+                self.stmt(inner)
+        elif isinstance(s, A.VarDecl):
+            if isinstance(s.init, A.Expr):
+                self.expr(s.init)
+        elif isinstance(s, A.ExprStmt):
+            self.expr(s.expr)
+        elif isinstance(s, A.If):
+            self.expr(s.cond)
+            self.stmt(s.then)
+            self.stmt(s.els)
+        elif isinstance(s, A.While):
+            self.loop_depth += 1
+            self.expr(s.cond)
+            self.stmt(s.body)
+            self.loop_depth -= 1
+        elif isinstance(s, A.For):
+            self.stmt(s.init)
+            self.loop_depth += 1
+            self.expr(s.cond)
+            self.expr(s.step)
+            self.stmt(s.body)
+            self.loop_depth -= 1
+        elif isinstance(s, A.Return):
+            self.expr(s.expr)
+
+
+def plan_promotion(fn: A.FuncDef) -> PromotionPlan:
+    """Analyze an (already sema-checked) function and assign registers."""
+    from repro.cc.sema import ParamBinding
+
+    walker = _Walker()
+    walker.stmt(fn.body)
+    # parameters count as candidates even when never referenced (their
+    # prologue handling changes); give them their natural key
+    for index, (name, ty) in enumerate(zip(fn.param_names, fn.func_type.params)):
+        if ty.is_scalar:
+            walker.candidates.setdefault(("param", name), _Candidate(("param", name), ty))
+
+    plan = PromotionPlan(has_calls=walker.has_calls)
+    ranked = sorted(
+        (c for c in walker.candidates.values()
+         if not c.address_taken and c.ty is not None and c.ty.is_scalar),
+        key=lambda c: -c.uses,
+    )
+    next_int = next_float = 0
+    for cand in ranked:
+        if cand.ty.is_float:
+            if walker.has_calls or next_float >= len(FLOAT_PROMOTE_POOL):
+                continue
+            plan.regs[cand.key] = FLOAT_PROMOTE_POOL[next_float]
+            next_float += 1
+        else:
+            if next_int >= len(INT_PROMOTE_POOL):
+                continue
+            plan.regs[cand.key] = INT_PROMOTE_POOL[next_int]
+            next_int += 1
+    plan.saved_gprs = [r for r in INT_PROMOTE_POOL if r in plan.regs.values()]
+    return plan

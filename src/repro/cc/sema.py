@@ -1,0 +1,480 @@
+"""minic semantic analysis.
+
+A transforming pass: resolves names, checks types, and *rewrites* the
+AST so that codegen never has to think about conversions — implicit
+int↔double conversions become explicit :class:`~repro.cc.ast_nodes.Cast`
+nodes, ``sizeof`` becomes an integer literal, and every expression node
+leaves with its ``ty`` set and every ``VarRef`` with a ``decl`` link to
+its declaration (``VarDecl``, :class:`ParamBinding`, ``GlobalVar``,
+``FuncDef`` or ``ExternDecl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.cc import ast_nodes as A
+from repro.cc.types import (
+    DOUBLE, LONG, VOID, ArrayType, FuncType, PointerType, StructType, Type,
+    compatible_assign, decay,
+)
+
+
+@dataclass
+class ParamBinding:
+    name: str
+    ty: Type
+    index: int
+
+
+class Scope:
+    """A lexical scope chained to its parent."""
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, object] = {}
+
+    def define(self, name: str, decl: object, line: int = 0, col: int = 0) -> None:
+        if name in self.names:
+            raise CompileError(f"redefinition of {name!r}", line, col)
+        self.names[name] = decl
+
+    def lookup(self, name: str) -> object | None:
+        """Resolve ``name`` through the scope chain (None if unbound)."""
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _cast_to(expr: A.Expr, target: Type) -> A.Expr:
+    """Wrap ``expr`` in a Cast when a *representation change* is needed.
+
+    Every minic scalar is 8 bytes, so the only conversion that generates
+    code is int<->double; pointer/long reinterpretations keep the node
+    (codegen treats them identically).
+    """
+    assert expr.ty is not None
+    if expr.ty.is_float == target.is_float:
+        return expr
+    cast = A.Cast(target_type=target, expr=expr, line=expr.line, col=expr.col)
+    cast.ty = target
+    return cast
+
+
+class Analyzer:
+    """One pass over a translation unit."""
+
+    def __init__(self, unit: A.TranslationUnit) -> None:
+        self.unit = unit
+        self.globals = Scope()
+        self.current_fn: A.FuncDef | None = None
+        self.loop_depth = 0
+
+    # --------------------------------------------------------------- entry
+    def run(self) -> A.TranslationUnit:
+        """Analyze the whole unit in place; returns it for chaining."""
+        for item in self.unit.items:
+            if isinstance(item, A.FuncDef):
+                self.globals.define(item.name, item, item.line, item.col)
+            elif isinstance(item, A.GlobalVar):
+                self.globals.define(item.name, item, item.line, item.col)
+            elif isinstance(item, A.ExternDecl):
+                # externs may be redeclared freely
+                self.globals.names.setdefault(item.name, item)
+        for item in self.unit.items:
+            if isinstance(item, A.GlobalVar):
+                self._check_global(item)
+        for item in self.unit.items:
+            if isinstance(item, A.FuncDef):
+                self._check_function(item)
+        return self.unit
+
+    # -------------------------------------------------------------- globals
+    def _check_global(self, g: A.GlobalVar) -> None:
+        if isinstance(g.var_type, FuncType):
+            raise CompileError(f"global {g.name!r} has function type", g.line, g.col)
+        if g.init is not None:
+            g.init = self._check_const_init(g.init, g.var_type)
+
+    def _check_const_init(self, init: A.Initializer, ty: Type) -> A.Initializer:
+        if isinstance(init, A.InitList):
+            if isinstance(ty, ArrayType):
+                if len(init.items) > ty.count:
+                    raise CompileError(
+                        f"too many initializers ({len(init.items)} > {ty.count})",
+                        init.line, init.col,
+                    )
+                init.items = [self._check_const_init(i, ty.elem) for i in init.items]
+                return init
+            if isinstance(ty, StructType):
+                if len(init.items) > len(ty.fields):
+                    raise CompileError("too many struct initializers", init.line, init.col)
+                init.items = [
+                    self._check_const_init(item, ftype)
+                    for item, (_, ftype) in zip(init.items, ty.fields)
+                ]
+                return init
+            raise CompileError(f"brace initializer for scalar {ty}", init.line, init.col)
+        value = self._const_value(init)
+        if ty.is_float:
+            lit = A.FloatLit(value=float(value), line=init.line, col=init.col)
+            lit.ty = DOUBLE
+            return lit
+        if ty.is_integer or ty.is_pointer:
+            if isinstance(value, float):
+                raise CompileError("float initializer for integer", init.line, init.col)
+            lit = A.IntLit(value=int(value), line=init.line, col=init.col)
+            lit.ty = LONG
+            return lit
+        raise CompileError(f"cannot initialize {ty} member", init.line, init.col)
+
+    def _const_value(self, expr: A.Expr) -> int | float:
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.FloatLit):
+            return expr.value
+        if isinstance(expr, A.Unary) and expr.op == "-":
+            return -self._const_value(expr.expr)
+        if isinstance(expr, A.SizeOf):
+            return expr.target_type.size
+        raise CompileError("global initializers must be constants", expr.line, expr.col)
+
+    # ------------------------------------------------------------ functions
+    def _check_function(self, fn: A.FuncDef) -> None:
+        self.current_fn = fn
+        scope = Scope(self.globals)
+        if len(fn.param_names) != len(fn.func_type.params):
+            raise CompileError(
+                f"parameter name/type count mismatch in {fn.name}", fn.line, fn.col
+            )
+        for index, (name, ty) in enumerate(zip(fn.param_names, fn.func_type.params)):
+            scope.define(name, ParamBinding(name, ty, index), fn.line, fn.col)
+        self._check_block(fn.body, scope)
+        self.current_fn = None
+
+    def _check_block(self, block: A.Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        block.stmts = [s for s in (self._check_stmt(s, inner) for s in block.stmts)]
+
+    def _check_stmt(self, stmt: A.Stmt, scope: Scope) -> A.Stmt:
+        if isinstance(stmt, A.Block):
+            self._check_block(stmt, scope)
+            return stmt
+        if isinstance(stmt, A.VarDecl):
+            if isinstance(stmt.var_type, FuncType):
+                raise CompileError(
+                    f"local {stmt.name!r} has function type (use a pointer)",
+                    stmt.line, stmt.col,
+                )
+            if stmt.init is not None:
+                if isinstance(stmt.init, A.InitList):
+                    raise CompileError(
+                        "brace initializers are only supported for globals",
+                        stmt.line, stmt.col,
+                    )
+                init = self._check_expr(stmt.init, scope)
+                if not compatible_assign(stmt.var_type, init.ty):  # type: ignore[arg-type]
+                    raise CompileError(
+                        f"cannot initialize {stmt.var_type} with {init.ty}",
+                        stmt.line, stmt.col,
+                    )
+                if stmt.var_type.is_scalar:
+                    init = _cast_to(init, stmt.var_type)
+                stmt.init = init
+            scope.define(stmt.name, stmt, stmt.line, stmt.col)
+            return stmt
+        if isinstance(stmt, A.ExprStmt):
+            stmt.expr = self._check_expr(stmt.expr, scope)
+            return stmt
+        if isinstance(stmt, A.If):
+            stmt.cond = self._check_scalar(stmt.cond, scope)
+            stmt.then = self._check_stmt(stmt.then, Scope(scope))
+            if stmt.els is not None:
+                stmt.els = self._check_stmt(stmt.els, Scope(scope))
+            return stmt
+        if isinstance(stmt, A.While):
+            stmt.cond = self._check_scalar(stmt.cond, scope)
+            self.loop_depth += 1
+            stmt.body = self._check_stmt(stmt.body, Scope(scope))
+            self.loop_depth -= 1
+            return stmt
+        if isinstance(stmt, A.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                stmt.init = self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                stmt.cond = self._check_scalar(stmt.cond, inner)
+            if stmt.step is not None:
+                stmt.step = self._check_expr(stmt.step, inner)
+            self.loop_depth += 1
+            stmt.body = self._check_stmt(stmt.body, Scope(inner))
+            self.loop_depth -= 1
+            return stmt
+        if isinstance(stmt, A.Return):
+            assert self.current_fn is not None
+            ret = self.current_fn.func_type.ret
+            if stmt.expr is None:
+                if ret is not VOID and ret.size != 0:
+                    raise CompileError("missing return value", stmt.line, stmt.col)
+            else:
+                expr = self._check_expr(stmt.expr, scope)
+                if isinstance(ret, VOID.__class__):
+                    raise CompileError("void function returns a value", stmt.line, stmt.col)
+                if not compatible_assign(ret, expr.ty):  # type: ignore[arg-type]
+                    raise CompileError(
+                        f"cannot return {expr.ty} from {ret} function", stmt.line, stmt.col
+                    )
+                stmt.expr = _cast_to(expr, ret)
+            return stmt
+        if isinstance(stmt, (A.Break, A.Continue)):
+            if self.loop_depth == 0:
+                raise CompileError("break/continue outside a loop", stmt.line, stmt.col)
+            return stmt
+        raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line, stmt.col)
+
+    # ----------------------------------------------------------- expressions
+    def _check_scalar(self, expr: A.Expr, scope: Scope) -> A.Expr:
+        out = self._check_expr(expr, scope)
+        assert out.ty is not None
+        if not decay(out.ty).is_scalar:
+            raise CompileError(f"{out.ty} is not usable as a condition", expr.line, expr.col)
+        return out
+
+    def _check_expr(self, expr: A.Expr, scope: Scope) -> A.Expr:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line, expr.col)
+        out = method(expr, scope)
+        assert out.ty is not None, type(expr).__name__
+        return out
+
+    def _expr_IntLit(self, expr: A.IntLit, scope: Scope) -> A.Expr:
+        expr.ty = LONG
+        return expr
+
+    def _expr_FloatLit(self, expr: A.FloatLit, scope: Scope) -> A.Expr:
+        expr.ty = DOUBLE
+        return expr
+
+    def _expr_SizeOf(self, expr: A.SizeOf, scope: Scope) -> A.Expr:
+        lit = A.IntLit(value=expr.target_type.size, line=expr.line, col=expr.col)
+        lit.ty = LONG
+        return lit
+
+    def _expr_VarRef(self, expr: A.VarRef, scope: Scope) -> A.Expr:
+        decl = scope.lookup(expr.name)
+        if decl is None:
+            raise CompileError(f"undeclared identifier {expr.name!r}", expr.line, expr.col)
+        expr.decl = decl  # type: ignore[attr-defined]
+        if isinstance(decl, A.VarDecl):
+            expr.binding = "local"
+            expr.ty = decl.var_type
+        elif isinstance(decl, ParamBinding):
+            expr.binding = "param"
+            expr.ty = decl.ty
+        elif isinstance(decl, A.GlobalVar):
+            expr.binding = "global"
+            expr.ty = decl.var_type
+        elif isinstance(decl, A.FuncDef):
+            expr.binding = "func"
+            expr.ty = decl.func_type
+        elif isinstance(decl, A.ExternDecl):
+            expr.binding = "func" if isinstance(decl.decl_type, FuncType) else "global"
+            expr.ty = decl.decl_type
+        else:  # pragma: no cover
+            raise CompileError(f"bad binding for {expr.name!r}", expr.line, expr.col)
+        return expr
+
+    def _expr_Unary(self, expr: A.Unary, scope: Scope) -> A.Expr:
+        expr.expr = self._check_expr(expr.expr, scope)
+        ty = expr.expr.ty
+        assert ty is not None
+        if expr.op == "-":
+            if not ty.is_arith:
+                raise CompileError(f"cannot negate {ty}", expr.line, expr.col)
+            expr.ty = ty
+        elif expr.op == "!":
+            if not decay(ty).is_scalar:
+                raise CompileError(f"cannot logically negate {ty}", expr.line, expr.col)
+            expr.ty = LONG
+        elif expr.op == "~":
+            if not ty.is_integer:
+                raise CompileError(f"~ needs an integer, got {ty}", expr.line, expr.col)
+            expr.ty = LONG
+        else:  # pragma: no cover
+            raise CompileError(f"unknown unary {expr.op}", expr.line, expr.col)
+        return expr
+
+    def _expr_Binary(self, expr: A.Binary, scope: Scope) -> A.Expr:
+        expr.left = self._check_expr(expr.left, scope)
+        expr.right = self._check_expr(expr.right, scope)
+        lt = decay(expr.left.ty)  # type: ignore[arg-type]
+        rt = decay(expr.right.ty)  # type: ignore[arg-type]
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (lt.is_scalar and rt.is_scalar):
+                raise CompileError(f"bad operands for {op}", expr.line, expr.col)
+            expr.ty = LONG
+            return expr
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_arith and rt.is_arith:
+                if lt.is_float or rt.is_float:
+                    expr.left = _cast_to(expr.left, DOUBLE)
+                    expr.right = _cast_to(expr.right, DOUBLE)
+            elif not (lt.is_pointer and rt.is_pointer) and not (
+                lt.is_pointer and rt.is_integer
+            ) and not (lt.is_integer and rt.is_pointer):
+                raise CompileError(f"cannot compare {lt} and {rt}", expr.line, expr.col)
+            expr.ty = LONG
+            return expr
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not (lt.is_integer and rt.is_integer):
+                raise CompileError(f"{op} needs integers, got {lt} and {rt}", expr.line, expr.col)
+            expr.ty = LONG
+            return expr
+        if op in ("+", "-"):
+            if lt.is_pointer and rt.is_integer:
+                expr.ty = lt
+                return expr
+            if op == "+" and lt.is_integer and rt.is_pointer:
+                # canonicalize to ptr + int
+                expr.left, expr.right = expr.right, expr.left
+                expr.ty = rt
+                return expr
+            if op == "-" and lt.is_pointer and rt.is_pointer:
+                expr.ty = LONG
+                return expr
+        if op in ("+", "-", "*", "/"):
+            if not (lt.is_arith and rt.is_arith):
+                raise CompileError(f"bad operands for {op}: {lt}, {rt}", expr.line, expr.col)
+            if lt.is_float or rt.is_float:
+                expr.left = _cast_to(expr.left, DOUBLE)
+                expr.right = _cast_to(expr.right, DOUBLE)
+                expr.ty = DOUBLE
+            else:
+                expr.ty = LONG
+            return expr
+        raise CompileError(f"unknown binary {op}", expr.line, expr.col)
+
+    def _expr_Assign(self, expr: A.Assign, scope: Scope) -> A.Expr:
+        expr.target = self._check_expr(expr.target, scope)
+        self._require_lvalue(expr.target)
+        expr.value = self._check_expr(expr.value, scope)
+        tty = expr.target.ty
+        assert tty is not None and expr.value.ty is not None
+        if not compatible_assign(tty, expr.value.ty):
+            raise CompileError(
+                f"cannot assign {expr.value.ty} to {tty}", expr.line, expr.col
+            )
+        if tty.is_scalar:
+            expr.value = _cast_to(expr.value, tty)
+        expr.ty = tty
+        return expr
+
+    def _expr_Call(self, expr: A.Call, scope: Scope) -> A.Expr:
+        expr.fn = self._check_expr(expr.fn, scope)
+        fty = expr.fn.ty
+        assert fty is not None
+        if isinstance(fty, PointerType) and isinstance(fty.pointee, FuncType):
+            fty = fty.pointee
+        if not isinstance(fty, FuncType):
+            raise CompileError(f"called object has type {fty}, not a function", expr.line, expr.col)
+        if len(expr.args) != len(fty.params):
+            raise CompileError(
+                f"call expects {len(fty.params)} arguments, got {len(expr.args)}",
+                expr.line, expr.col,
+            )
+        new_args = []
+        for arg, pty in zip(expr.args, fty.params):
+            arg = self._check_expr(arg, scope)
+            if not compatible_assign(pty, arg.ty):  # type: ignore[arg-type]
+                raise CompileError(
+                    f"argument type {arg.ty} incompatible with {pty}", arg.line, arg.col
+                )
+            if pty.is_scalar:
+                arg = _cast_to(arg, pty)
+            new_args.append(arg)
+        expr.args = new_args
+        expr.ty = fty.ret
+        return expr
+
+    def _expr_Index(self, expr: A.Index, scope: Scope) -> A.Expr:
+        expr.base = self._check_expr(expr.base, scope)
+        expr.index = self._check_expr(expr.index, scope)
+        bty = expr.base.ty
+        assert bty is not None and expr.index.ty is not None
+        if not expr.index.ty.is_integer:
+            raise CompileError("index must be an integer", expr.line, expr.col)
+        if isinstance(bty, ArrayType):
+            expr.ty = bty.elem
+        elif isinstance(bty, PointerType):
+            expr.ty = bty.pointee
+        else:
+            raise CompileError(f"cannot index {bty}", expr.line, expr.col)
+        if expr.ty.size == 0:
+            raise CompileError("cannot index void pointer", expr.line, expr.col)
+        return expr
+
+    def _expr_Member(self, expr: A.Member, scope: Scope) -> A.Expr:
+        expr.base = self._check_expr(expr.base, scope)
+        bty = expr.base.ty
+        assert bty is not None
+        if expr.arrow:
+            if not (isinstance(bty, PointerType) and isinstance(bty.pointee, StructType)):
+                raise CompileError(f"-> needs a struct pointer, got {bty}", expr.line, expr.col)
+            st = bty.pointee
+        else:
+            if not isinstance(bty, StructType):
+                raise CompileError(f". needs a struct, got {bty}", expr.line, expr.col)
+            st = bty
+        if not st.complete:
+            raise CompileError(f"struct {st.tag} is incomplete", expr.line, expr.col)
+        if not st.has_field(expr.name):
+            raise CompileError(f"struct {st.tag} has no field {expr.name!r}", expr.line, expr.col)
+        expr.ty = st.field_type(expr.name)
+        return expr
+
+    def _expr_Cast(self, expr: A.Cast, scope: Scope) -> A.Expr:
+        expr.expr = self._check_expr(expr.expr, scope)
+        src = decay(expr.expr.ty)  # type: ignore[arg-type]
+        dst = expr.target_type
+        if not (src.is_scalar and (dst.is_scalar or dst is VOID)):
+            raise CompileError(f"invalid cast {src} -> {dst}", expr.line, expr.col)
+        expr.ty = dst
+        return expr
+
+    def _expr_AddrOf(self, expr: A.AddrOf, scope: Scope) -> A.Expr:
+        expr.expr = self._check_expr(expr.expr, scope)
+        inner = expr.expr
+        if isinstance(inner, A.VarRef) and inner.binding == "func":
+            expr.ty = PointerType(inner.ty)  # type: ignore[arg-type]
+            return expr
+        self._require_lvalue(inner)
+        assert inner.ty is not None
+        expr.ty = PointerType(inner.ty)
+        return expr
+
+    def _expr_Deref(self, expr: A.Deref, scope: Scope) -> A.Expr:
+        expr.expr = self._check_expr(expr.expr, scope)
+        ty = decay(expr.expr.ty)  # type: ignore[arg-type]
+        if not isinstance(ty, PointerType):
+            raise CompileError(f"cannot dereference {ty}", expr.line, expr.col)
+        expr.ty = ty.pointee
+        if expr.ty.size == 0 and not isinstance(expr.ty, FuncType):
+            raise CompileError("cannot dereference void*", expr.line, expr.col)
+        return expr
+
+    def _require_lvalue(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.VarRef) and expr.binding in ("local", "param", "global"):
+            return
+        if isinstance(expr, (A.Deref, A.Index, A.Member)):
+            return
+        raise CompileError("expression is not assignable", expr.line, expr.col)
+
+
+def analyze(unit: A.TranslationUnit) -> A.TranslationUnit:
+    """Run semantic analysis in place (also returns the unit)."""
+    return Analyzer(unit).run()

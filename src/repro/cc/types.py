@@ -1,0 +1,169 @@
+"""The minic type system.
+
+All scalars are 8 bytes (``long``, ``double``, pointers), so struct
+fields never need padding and every offset is a multiple of 8 — a
+deliberate simplification that keeps codegen honest but small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+
+class Type:
+    """Base class; concrete types below."""
+
+    size: int = 8
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, LongType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, DoubleType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_arith(self) -> bool:
+        return self.is_integer or self.is_float
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arith or self.is_pointer
+
+
+@dataclass(frozen=True)
+class LongType(Type):
+    """The 64-bit signed integer type (``long``; ``int`` is an alias)."""
+    size: int = 8
+
+    def __str__(self) -> str:
+        return "long"
+
+
+@dataclass(frozen=True)
+class DoubleType(Type):
+    """IEEE-754 binary64 (``double``)."""
+    size: int = 8
+
+    def __str__(self) -> str:
+        return "double"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """``void`` — only meaningful as a return type or pointee."""
+    size: int = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+LONG = LongType()
+DOUBLE = DoubleType()
+VOID = VoidType()
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer to ``pointee``."""
+    pointee: Type = VOID
+    size: int = 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A fixed-size array of ``count`` elements."""
+    elem: Type = LONG
+    count: int = 0
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.elem.size * self.count
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.count}]"
+
+
+@dataclass
+class StructType(Type):
+    """A struct; identity is by tag object, not structural."""
+
+    tag: str = ""
+    fields: list[tuple[str, Type]] = field(default_factory=list)
+    complete: bool = False
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return sum(t.size for _, t in self.fields)
+
+    def field_offset(self, name: str) -> int:
+        """Byte offset of field ``name`` (all fields are 8-byte aligned)."""
+        offset = 0
+        for fname, ftype in self.fields:
+            if fname == name:
+                return offset
+            offset += ftype.size
+        raise CompileError(f"struct {self.tag} has no field {name!r}")
+
+    def field_type(self, name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise CompileError(f"struct {self.tag} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return any(fname == name for fname, _ in self.fields)
+
+    def __str__(self) -> str:
+        return f"struct {self.tag}"
+
+    def __hash__(self) -> int:  # identity semantics
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass(frozen=True)
+class FuncType(Type):
+    """A function signature; as a value it decays to a code pointer."""
+    ret: Type = VOID
+    params: tuple[Type, ...] = ()
+    size: int = 8  # as a value it is a code pointer
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.ret}({params})"
+
+
+def decay(t: Type) -> Type:
+    """Array-to-pointer and function-to-pointer decay."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.elem)
+    if isinstance(t, FuncType):
+        return PointerType(t)
+    return t
+
+
+def compatible_assign(dst: Type, src: Type) -> bool:
+    """May a value of ``src`` be assigned to an lvalue of ``dst``?"""
+    src = decay(src)
+    if dst.is_arith and src.is_arith:
+        return True  # implicit int<->double conversion
+    if dst.is_pointer and src.is_pointer:
+        return True  # minic is permissive about pointer casts, like old C
+    if dst.is_pointer and src.is_integer:
+        return True  # allow p = 0 and address literals
+    if dst.is_integer and src.is_pointer:
+        return True
+    return False

@@ -1,0 +1,59 @@
+"""The C-flavoured BREW API (paper Figures 2, 3 and 5).
+
+These thin wrappers exist so example code reads like the paper::
+
+    rconf = brew_init_conf()
+    brew_setpar(rconf, 2, BREW_KNOWN)
+    brew_setpar(rconf, 3, BREW_PTR_TO_KNOWN)
+    app2 = brew_rewrite(machine, rconf, "apply", 0, xs, s5)
+
+``brew_rewrite`` returns the full :class:`~repro.core.rewriter.RewriteResult`
+rather than a bare pointer — use ``.entry_or_original`` where the C code
+would use the returned function pointer.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import Knownness, RewriteConfig
+from repro.core.rewriter import RewriteResult, rewrite
+
+
+def brew_init_conf() -> RewriteConfig:
+    """``brew_initConf``: a fresh default configuration."""
+    return RewriteConfig()
+
+
+def brew_setpar(
+    conf: RewriteConfig,
+    index: int,
+    knownness: Knownness,
+    fn_addr: int | None = None,
+) -> None:
+    """``brew_setpar``: declare parameter ``index`` (1-based) of the entry
+    function (or of the function at ``fn_addr``) known / pointer-to-known
+    / forced-unknown."""
+    if index < 1:
+        raise ValueError("parameter indices are 1-based, as in the paper")
+    conf.set_param(index, knownness, fn_addr)
+
+
+def brew_setmem(
+    conf: RewriteConfig, start: int, end: int, knownness: Knownness = Knownness.KNOWN
+) -> None:
+    """``brew_setmem``: declare ``[start, end)`` known fixed memory."""
+    if knownness is not Knownness.KNOWN:
+        raise ValueError("brew_setmem only supports BREW_KNOWN ranges")
+    conf.add_known_memory(start, end)
+
+
+def brew_setfunc(conf: RewriteConfig, fn_addr: int | None = None, **options) -> None:
+    """Set per-function options: ``inline=False``,
+    ``force_unknown_results=True``, ``conditionals_unknown=True``...
+    (paper Sec. III.C's per-function configuration list)."""
+    conf.set_function(fn_addr, **options)
+
+
+def brew_rewrite(machine, conf: RewriteConfig, fn, *args) -> RewriteResult:
+    """``brew_rewrite``: generate a specialized drop-in replacement of
+    ``fn`` (name or address), tracing with the given example ``args``."""
+    return rewrite(machine, conf, fn, *args)

@@ -1,0 +1,133 @@
+"""Rewriter configuration (paper Sec. III.C).
+
+Configuration is expressed "relying on the ABI of the system": known-ness
+is declared per *parameter index* at function boundaries, which the
+rewriter translates to argument registers via
+:mod:`repro.abi.callconv` — exactly how the paper keeps the configuration
+architecture independent.
+
+Per-function options (keyed by function start address, including the
+function being rewritten itself):
+
+* which parameters are known / point to known data;
+* whether the function is inlined when called (default: yes);
+* whether every value produced by an operation inside it is forced to
+  unknown (the paper's working anti-unrolling knob, Sec. III.F);
+* whether conditional jumps are treated as unknown even when their
+  condition is known (the milder anti-unrolling knob);
+* the variant threshold: how many translations of the same original
+  block address may exist before world migration kicks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Knownness(Enum):
+    """Declared knowledge about a parameter."""
+
+    UNKNOWN = "unknown"
+    KNOWN = "known"
+    #: Pointer whose value *and* pointed-to memory are known; applies
+    #: recursively to pointers stored in that memory (paper, Sec. V.A).
+    PTR_TO_KNOWN = "ptr-to-known"
+
+
+BREW_UNKNOWN = Knownness.UNKNOWN
+BREW_KNOWN = Knownness.KNOWN
+BREW_PTR_TO_KNOWN = Knownness.PTR_TO_KNOWN
+
+
+@dataclass
+class FunctionConfig:
+    """Options for one function encountered during tracing."""
+
+    #: 1-based parameter index -> declared knownness.
+    params: dict[int, Knownness] = field(default_factory=dict)
+    #: Inline this function when a traced call reaches it.
+    inline: bool = True
+    #: Force every operation result to unknown while tracing inside this
+    #: function ("brute force" anti-unrolling, paper Sec. V.C).  Values
+    #: passed in as parameters keep their declared knownness.
+    force_unknown_results: bool = False
+    #: Treat conditional jumps as unknown even with known conditions
+    #: (prevents trace-through unrolling but keeps value specialization).
+    conditionals_unknown: bool = False
+
+    def copy(self) -> "FunctionConfig":
+        return FunctionConfig(
+            params=dict(self.params),
+            inline=self.inline,
+            force_unknown_results=self.force_unknown_results,
+            conditionals_unknown=self.conditionals_unknown,
+        )
+
+
+@dataclass
+class RewriteConfig:
+    """Complete configuration for one ``brew_rewrite`` invocation."""
+
+    #: Function start address -> options.  The entry function's options
+    #: live under key ``ENTRY`` until its address is known.
+    functions: dict[int | str, FunctionConfig] = field(default_factory=dict)
+    #: Known read-only memory ranges ``[(start, end))`` — reads from
+    #: these fold to constants at rewrite time.
+    known_memory: list[tuple[int, int]] = field(default_factory=list)
+    #: Max translations of one original block address before migration
+    #: (paper Sec. III.F: "a threshold for different variants of
+    #: translations starting at same address").
+    variant_threshold: int = 24
+    #: Hard cap on traced steps / emitted instructions: exceeding them is
+    #: a graceful failure ("when buffers run out of space", Sec. III.G).
+    max_trace_steps: int = 2_000_000
+    max_output_instructions: int = 400_000
+    #: Addresses of ``makeDynamic``-style identity functions whose result
+    #: must always be treated as unknown (paper Sec. V.C).
+    dynamic_markers: set[int] = field(default_factory=set)
+    #: Run the post-capture optimization pass pipeline (extensions beyond
+    #: the paper's prototype, which had none).
+    passes: tuple[str, ...] = ()
+    #: Defer spills of unknown registers to stack cells (register
+    #: snapshots, see known.RegSnapshot).  This is an extension beyond the
+    #: paper's prototype: with it the rewriter removes save/restore and
+    #: spill/reload pairs entirely, which the prototype did not — set it
+    #: False to reproduce the prototype's output quality (EXP-1 does).
+    deferred_spills: bool = True
+    #: Inject a profiling call at function entry (see core.callbacks).
+    entry_hook: int | None = None
+    #: Inject a call after every memory-reading instruction.
+    memory_hook: int | None = None
+
+    ENTRY = "__entry__"
+
+    def function(self, addr: int | None = None) -> FunctionConfig:
+        """Options for the function at ``addr`` (None = the entry);
+        unconfigured functions get defaults."""
+        key: int | str = self.ENTRY if addr is None else addr
+        cfg = self.functions.get(key)
+        return cfg if cfg is not None else FunctionConfig()
+
+    def set_param(self, index: int, knownness: Knownness, addr: int | None = None) -> None:
+        key: int | str = self.ENTRY if addr is None else addr
+        self.functions.setdefault(key, FunctionConfig()).params[index] = knownness
+
+    def set_function(self, addr: int | None = None, **options) -> FunctionConfig:
+        """Set per-function options by keyword (validated against
+        FunctionConfig fields)."""
+        key: int | str = self.ENTRY if addr is None else addr
+        cfg = self.functions.setdefault(key, FunctionConfig())
+        for name, value in options.items():
+            if not hasattr(cfg, name):
+                raise ValueError(f"unknown function option {name!r}")
+            setattr(cfg, name, value)
+        return cfg
+
+    def add_known_memory(self, start: int, end: int) -> None:
+        if end <= start:
+            raise ValueError("empty known-memory range")
+        self.known_memory.append((start, end))
+
+    def memory_is_known(self, addr: int, size: int = 8) -> bool:
+        return any(s <= addr and addr + size <= e for s, e in self.known_memory)

@@ -1,0 +1,78 @@
+"""Final binary emission (paper Sec. III.G, last three steps).
+
+Blocks are ordered for fall-through, label markers are interleaved,
+explicit ``jmp`` instructions are added only where the layout breaks a
+chain, and the whole program is encoded into the image's rewrite
+segment with rel32 relocation done by :func:`repro.isa.encoding.encode_program`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError, RewriteFailure
+from repro.core.blocks import BlockRegistry
+from repro.core.layout import order_blocks
+from repro.cc.linker import program_length
+from repro.isa.encoding import encode_program, label_marker
+from repro.isa.instruction import Instruction, ins
+from repro.isa.opcodes import Op
+from repro.isa.operands import Label
+from repro.machine.image import Image
+
+
+def flatten(registry: BlockRegistry, entry_label: str) -> list[Instruction]:
+    """Ordered builder items (with label markers) for the whole function."""
+    ordered = order_blocks(registry, entry_label)
+    # the entry block must be first; order_blocks guarantees it
+    items: list[Instruction] = []
+    for index, block in enumerate(ordered):
+        items.append(label_marker(block.label))
+        items.extend(block.insns)
+        if block.final_target is not None:
+            next_label = ordered[index + 1].label if index + 1 < len(ordered) else None
+            if next_label != block.final_target:
+                items.append(ins(Op.JMP, Label(block.final_target), note="layout"))
+    return items
+
+
+def emit_into_image(
+    image: Image,
+    registry: BlockRegistry,
+    entry_label: str,
+    name: str | None = None,
+) -> tuple[int, int, "DebugMap"]:
+    """Encode the captured blocks into the rewrite segment.
+
+    Returns ``(entry_address, code_size, debug_map)`` — the debug map
+    records each emitted instruction's original provenance (Sec. VIII's
+    debugging outlook; see :mod:`repro.core.debuginfo`).
+    """
+    from repro.core.debuginfo import DebugMap, build_debug_map
+    from repro.isa.encoding import instruction_length
+    from repro.isa.opcodes import Op as _Op
+
+    items = flatten(registry, entry_label)
+    length = program_length(items)
+    addr = image.alloc_rewrite(max(length, 1))
+    try:
+        code, labels = encode_program(items, addr, extra_labels=image.symbols)
+    except EncodingError as exc:
+        raise RewriteFailure("encode-error", str(exc)) from exc
+    if len(code) != length:
+        raise RewriteFailure(
+            "encode-error", f"layout mismatch: planned {length}, got {len(code)}"
+        )
+    image.poke(addr, code)
+    if name is not None:
+        image.define_symbol(name, addr)
+    image.function_sizes[addr] = len(code)
+    entry = labels[entry_label]
+    if entry != addr:
+        raise RewriteFailure("encode-error", "entry block not first in layout")
+    placed = []
+    cursor = addr
+    for insn in items:
+        if insn.op is _Op.NOP and insn.note.startswith("label:") and not insn.operands:
+            continue
+        placed.append((cursor, insn))
+        cursor += instruction_length(insn)
+    return addr, len(code), build_debug_map(placed)

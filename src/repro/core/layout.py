@@ -1,0 +1,42 @@
+"""Block ordering (paper Sec. III.G: "determination of the best order of
+generated blocks for the final rewritten code").
+
+Greedy fall-through chaining: start at the entry block and keep placing
+each block's ``final_target`` right after it, so the emitter does not
+need an explicit ``jmp``; remaining blocks (conditional-branch targets,
+compensation edges) are placed by first reference.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import BlockRegistry, CapturedBlock
+
+
+def order_blocks(registry: BlockRegistry, entry_label: str) -> list[CapturedBlock]:
+    """Order blocks for emission, entry first, fall-throughs adjacent."""
+    blocks = registry.blocks
+    placed: list[CapturedBlock] = []
+    seen: set[str] = set()
+    worklist: list[str] = [entry_label]
+
+    def place_chain(label: str) -> None:
+        while label is not None and label not in seen:
+            block = blocks.get(label)
+            if block is None:  # dangling reference: emitter will complain
+                return
+            seen.add(label)
+            placed.append(block)
+            for succ in block.successors:
+                if succ != block.final_target and succ not in seen:
+                    worklist.append(succ)
+            label = block.final_target  # type: ignore[assignment]
+
+    while worklist:
+        place_chain(worklist.pop(0))
+
+    # anything unreachable from the entry (shouldn't happen, but keep the
+    # output well-defined)
+    for label, block in blocks.items():
+        if label not in seen:
+            placed.append(block)
+    return placed

@@ -1,0 +1,122 @@
+"""Specialization management: caching, reuse and invalidation of
+rewrites.
+
+The paper's use cases all share a lifecycle the raw ``brew_rewrite``
+call leaves to the caller: a library specializes a function *per
+configuration instance* (per stencil, per domain map, per descriptor),
+wants to reuse the variant while the instance is unchanged, and must
+drop it when the instance mutates (Sec. VI: "a runtime system could
+trigger a new specialization whenever the domain map is changed").
+:class:`SpecializationManager` packages that lifecycle:
+
+* variants are cached under ``(function, config fingerprint, example
+  arguments, fingerprints of the known memory they depend on)``;
+* ``get`` returns a cached drop-in pointer or rewrites on miss;
+* ``invalidate_memory(start, end)`` drops variants whose known-memory
+  ranges overlap a mutated region (the redistribute trigger);
+* failures are cached too — a function that cannot be rewritten is not
+  retried on every call (the graceful-failure idiom, at scale).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.config import FunctionConfig, RewriteConfig
+from repro.core.rewriter import RewriteResult, rewrite
+
+
+def _config_fingerprint(conf: RewriteConfig) -> tuple:
+    def fn_key(cfg: FunctionConfig) -> tuple:
+        return (
+            tuple(sorted((k, v.value) for k, v in cfg.params.items())),
+            cfg.inline, cfg.force_unknown_results, cfg.conditionals_unknown,
+        )
+
+    return (
+        tuple(sorted((str(k), fn_key(v)) for k, v in conf.functions.items())),
+        tuple(sorted(conf.known_memory)),
+        conf.variant_threshold,
+        conf.deferred_spills,
+        conf.passes,
+        tuple(sorted(conf.dynamic_markers)),
+    )
+
+
+@dataclass
+class _Entry:
+    result: RewriteResult
+    #: (start, end, content-hash) for every known range at rewrite time
+    memory_deps: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return any(s < end and start < e for s, e, _ in self.memory_deps)
+
+
+class SpecializationManager:
+    """Caches rewrites per machine; see the module docstring."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._cache: dict[tuple, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- internal
+    def _memory_deps(self, conf: RewriteConfig) -> list[tuple[int, int, str]]:
+        deps = []
+        for start, end in conf.known_memory:
+            raw = self.machine.image.peek(start, end - start)
+            deps.append((start, end, hashlib.sha1(raw).hexdigest()))
+        return deps
+
+    def _key(self, fn, conf: RewriteConfig, args: tuple) -> tuple:
+        addr = self.machine.image.resolve(fn)
+        return (addr, _config_fingerprint(conf), args)
+
+    # ------------------------------------------------------------------ api
+    def get(self, conf: RewriteConfig, fn, *args) -> RewriteResult:
+        """A (possibly cached) rewrite of ``fn`` under ``conf``.
+
+        Note: call this *after* declaring parameters/memory on ``conf``;
+        PTR_TO_KNOWN ranges are registered during the first rewrite and
+        participate in the fingerprint from then on.
+        """
+        key = self._key(fn, conf, args)
+        entry = self._cache.get(key)
+        if entry is not None:
+            # stale if any depended-on known memory changed content
+            if all(
+                hashlib.sha1(self.machine.image.peek(s, e - s)).hexdigest() == h
+                for s, e, h in entry.memory_deps
+            ):
+                self.hits += 1
+                return entry.result
+            del self._cache[key]
+        self.misses += 1
+        result = rewrite(self.machine, conf, fn, *args)
+        # conf.known_memory may have grown (PTR_TO_KNOWN registration);
+        # re-key on the post-rewrite fingerprint for future lookups
+        key = self._key(fn, conf, args)
+        self._cache[key] = _Entry(result, self._memory_deps(conf))
+        return result
+
+    def invalidate_memory(self, start: int, end: int) -> int:
+        """Drop every cached variant whose known memory overlaps
+        ``[start, end)``; returns how many were dropped."""
+        stale = [k for k, e in self._cache.items() if e.overlaps(start, end)]
+        for k in stale:
+            del self._cache[k]
+        return len(stale)
+
+    def invalidate_function(self, fn) -> int:
+        """Drop every cached variant of ``fn``."""
+        addr = self.machine.image.resolve(fn)
+        stale = [k for k in self._cache if k[0] == addr]
+        for k in stale:
+            del self._cache[k]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._cache)

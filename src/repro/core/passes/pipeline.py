@@ -1,0 +1,92 @@
+"""Pass manager for post-capture optimization passes.
+
+Before running any pass, linear fall-through chains are merged into
+single blocks (a block whose only entry is its unique predecessor's
+fall-through edge joins that predecessor).  Without this, each unrolled
+loop iteration sits in its own tiny block and block-local passes see
+nothing to do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.errors import RewriteFailure
+from repro.core.blocks import BlockRegistry
+from repro.machine.image import Image
+
+
+def merge_linear_chains(registry: BlockRegistry, entry_label: str) -> None:
+    """Fuse A→B fall-through edges where B has no other predecessor."""
+    changed = True
+    while changed:
+        changed = False
+        preds: Counter = Counter()
+        for blk in registry.blocks.values():
+            for succ in blk.successors:
+                preds[succ] += 1
+        for label, blk in list(registry.blocks.items()):
+            tgt = blk.final_target
+            if (
+                tgt is not None
+                and tgt != label
+                and tgt != entry_label
+                and preds.get(tgt, 0) == 1
+                and tgt in registry.blocks
+            ):
+                nxt = registry.blocks.pop(tgt)
+                blk.insns.extend(nxt.insns)
+                blk.final_target = nxt.final_target
+                blk.successors = [s for s in blk.successors if s != tgt]
+                blk.successors.extend(nxt.successors)
+                changed = True
+                break
+
+
+def _load_pass(name: str) -> Callable:
+    if name == "dce":
+        from repro.core.passes.dce import dead_code_elimination
+
+        return dead_code_elimination
+    if name == "redundant-load":
+        from repro.core.passes.redundant_load import remove_redundant_loads
+
+        return remove_redundant_loads
+    if name == "peephole":
+        from repro.core.passes.peephole import peephole_blocks
+
+        return peephole_blocks
+    if name == "reorder":
+        from repro.core.passes.reorder import reorder_loads
+
+        return reorder_loads
+    if name == "vectorize":
+        from repro.core.passes.vectorize import vectorize_blocks
+
+        return vectorize_blocks
+    if name == "regrename":
+        from repro.core.passes.regrename import rename_registers
+
+        return rename_registers
+    raise RewriteFailure("bad-pass", f"unknown pass {name!r}")
+
+
+AVAILABLE_PASSES = (
+    "dce", "redundant-load", "peephole", "reorder", "vectorize", "regrename",
+)
+
+
+def run_passes(
+    registry: BlockRegistry,
+    passes: tuple[str, ...],
+    image: Image,
+    entry_label: str | None = None,
+) -> None:
+    """Run each named pass over every captured block, in order."""
+    if entry_label is not None:
+        merge_linear_chains(registry, entry_label)
+    for name in passes:
+        pass_fn = _load_pass(name)
+        for block in registry.blocks.values():
+            block.insns = pass_fn(block.insns, image)

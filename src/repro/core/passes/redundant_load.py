@@ -1,0 +1,109 @@
+"""Redundant-load removal within captured blocks (paper Sec. IV / V.B:
+"instruction reordering removing redundant loads").
+
+Forward scan tracking which register currently holds the value of which
+memory operand.  A repeated load of the same operand becomes a cheap
+register move (or disappears when it targets the same register).
+Availability is invalidated conservatively: any store or call kills all
+entries, overwriting an address register kills entries using it, and
+overwriting a holding register kills its entry.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction, ins
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.operands import FReg, Mem, Reg
+from repro.machine.image import Image
+
+
+def _written_reg_keys(insn: Instruction) -> set:
+    cls = op_info(insn.op).opclass
+    ops = insn.operands
+    out: set = set()
+    if cls is OpClass.DIV:
+        return {("g", 0), ("g", 2)}  # rax, rdx
+    if cls is OpClass.CALL:
+        return {("g", i) for i in range(16)} | {("x", i) for i in range(16)}
+    if cls is OpClass.POP and ops and isinstance(ops[0], Reg):
+        return {("g", int(ops[0].reg))}
+    if ops:
+        if isinstance(ops[0], Reg):
+            out.add(("g", int(ops[0].reg)))
+        elif isinstance(ops[0], FReg):
+            out.add(("x", int(ops[0].reg)))
+    return out
+
+
+def _mem_key(mem: Mem) -> tuple:
+    return (mem.base, mem.index, mem.scale, mem.disp)
+
+
+def remove_redundant_loads(insns: list[Instruction], image: Image) -> list[Instruction]:
+    """Forward availability scan; see module doc for invalidation rules."""
+    out: list[Instruction] = []
+    # (mem key, float?) -> register operand currently holding the value
+    available: dict[tuple, Reg | FReg] = {}
+
+    def kill_all() -> None:
+        available.clear()
+
+    def kill_reg_keys(keys: set) -> None:
+        for mkey in list(available):
+            holder = available[mkey]
+            hkey = ("x" if isinstance(holder, FReg) else "g", int(holder.reg))
+            if hkey in keys:
+                del available[mkey]
+                continue
+            base, index = mkey[0][0], mkey[0][1]
+            if base is not None and ("g", int(base)) in keys:
+                del available[mkey]
+            elif index is not None and ("g", int(index)) in keys:
+                del available[mkey]
+
+    for insn in insns:
+        cls = insn.opclass
+        ops = insn.operands
+        is_plain_load = (
+            insn.op in (Op.MOV, Op.MOVSD)
+            and len(ops) == 2
+            and isinstance(ops[0], (Reg, FReg))
+            and isinstance(ops[1], Mem)
+        )
+        if is_plain_load:
+            want_float = insn.op is Op.MOVSD
+            mkey = (_mem_key(ops[1]), want_float)
+            holder = available.get(mkey)
+            if holder is not None:
+                if holder == ops[0]:
+                    continue  # exact repeat: drop entirely
+                move = ins(Op.MOVSD if want_float else Op.MOV, ops[0], holder,
+                           note="rld")
+                kill_reg_keys(_written_reg_keys(move))
+                out.append(move)
+                available[mkey] = ops[0]
+                continue
+            kill_reg_keys(_written_reg_keys(insn))
+            out.append(insn)
+            available[mkey] = ops[0]
+            continue
+        # stores and anything memory-writing invalidate everything
+        writes_memory = (
+            (ops and isinstance(ops[0], Mem) and cls is not OpClass.CMP
+             and cls is not OpClass.FCMP and cls is not OpClass.LEA)
+            or cls in (OpClass.CALL, OpClass.PUSH, OpClass.RET)
+        )
+        if writes_memory:
+            kill_all()
+            # store-to-load forwarding: a plain register store makes the
+            # cell's value available in that register
+            if (
+                insn.op in (Op.MOV, Op.MOVSD)
+                and len(ops) == 2
+                and isinstance(ops[0], Mem)
+                and isinstance(ops[1], (Reg, FReg))
+            ):
+                available[(_mem_key(ops[0]), insn.op is Op.MOVSD)] = ops[1]
+        kill_reg_keys(_written_reg_keys(insn))
+        out.append(insn)
+    return out

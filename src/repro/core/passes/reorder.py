@@ -1,0 +1,93 @@
+"""Straight-line instruction reordering (paper Sec. V.B: "(1) instruction
+reordering removing redundant loads").
+
+Bubbles loads upward past independent instructions so that related
+operations become adjacent — the enabling transformation for the greedy
+vectorizer.  The cycle cost model is additive, so reordering by itself
+is cost-neutral; its value is structural.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.operands import FReg, Mem, Reg
+from repro.machine.image import Image
+
+
+def _keys(insn: Instruction):
+    """(reads, writes, is_store, is_barrier) with class-tagged reg keys."""
+    cls = op_info(insn.op).opclass
+    ops = insn.operands
+    reads: set = set()
+    writes: set = set()
+    is_store = False
+    barrier = cls in (OpClass.CALL, OpClass.RET, OpClass.JMP, OpClass.JCC,
+                      OpClass.HLT, OpClass.PUSH, OpClass.POP, OpClass.DIV)
+    if insn.writes_flags or cls in (OpClass.JCC, OpClass.SETCC):
+        barrier = True  # don't reorder across the flags dependency
+    for i, operand in enumerate(ops):
+        if isinstance(operand, Mem):
+            if operand.base is not None:
+                reads.add(("g", int(operand.base)))
+            if operand.index is not None:
+                reads.add(("g", int(operand.index)))
+            if i == 0 and cls not in (OpClass.CMP, OpClass.FCMP, OpClass.LEA):
+                is_store = True
+            continue
+        if isinstance(operand, Reg):
+            key = ("g", int(operand.reg))
+        elif isinstance(operand, FReg):
+            key = ("x", int(operand.reg))
+        else:
+            continue
+        if i == 0 and cls in (OpClass.MOV, OpClass.LEA, OpClass.FMOV,
+                              OpClass.VMOV, OpClass.FCVT, OpClass.BITMOV):
+            writes.add(key)
+        elif i == 0:
+            reads.add(key)
+            writes.add(key)
+        else:
+            reads.add(key)
+    return reads, writes, is_store, barrier
+
+
+def _independent(a: Instruction, b: Instruction) -> bool:
+    """May ``b`` move above ``a``?"""
+    ra, wa, sa, barrier_a = _keys(a)
+    rb, wb, sb, barrier_b = _keys(b)
+    if barrier_a or barrier_b:
+        return False
+    if sa and sb:
+        return False  # two stores: keep order
+    if sa and any(isinstance(o, Mem) for o in b.operands):
+        return False  # load/store vs store: possible alias
+    if sb and any(isinstance(o, Mem) for o in a.operands):
+        return False
+    return not (wa & (rb | wb)) and not (wb & ra)
+
+
+def reorder_loads(insns: list[Instruction], image: Image) -> list[Instruction]:
+    """Bubble plain loads upward past independent neighbours."""
+    out = list(insns)
+    changed = True
+    passes = 0
+    while changed and passes < 4:
+        changed = False
+        passes += 1
+        for i in range(1, len(out)):
+            insn = out[i]
+            is_load = (
+                insn.op in (Op.MOV, Op.MOVSD)
+                and len(insn.operands) == 2
+                and isinstance(insn.operands[1], Mem)
+                and isinstance(insn.operands[0], (Reg, FReg))
+            )
+            if not is_load:
+                continue
+            j = i
+            while j > 0 and _independent(out[j - 1], out[j]):
+                out[j - 1], out[j] = out[j], out[j - 1]
+                j -= 1
+                changed = True
+    return out

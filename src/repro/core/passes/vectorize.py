@@ -1,0 +1,267 @@
+"""Greedy SLP vectorization (paper Sec. IV: "we plan to implement a
+simple greedy vectorization pass which may take programmer knowledge and
+runtime information provided via rewriter configuration into account").
+
+The pass works on *store slices*: for every scalar double store it
+computes the dataflow slice of floating-point instructions that produced
+the stored value (loads, reg-to-reg moves, add/sub/mul — the unrolled
+loop body the specializer emits).  Two consecutive slices fuse into one
+packed slice when they are **isomorphic**: same opcode sequence, same
+register operands position by position (unrolled iterations reuse the
+same scratch registers), and every memory-operand pair either 8 bytes
+apart (adjacent lanes) or the identical literal-pool address (broadcast
+into a 16-byte packed literal).
+
+Safety rules, all checked:
+
+* residue instructions interleaved with a slice must not touch XMM
+  registers, must not write any register the slice reads, and may write
+  memory only rsp-relative (the frame cannot alias data pointers in the
+  runtime-location model — the frame is below the entry rsp and data
+  pointers come from the caller);
+* the fused registers must be *dead* after the pair: either rewritten
+  before any read, or the block ends in ``ret`` (caller-saved XMM
+  registers are dead across returns per the ABI).
+
+This encodes the "programmer knowledge" channel the paper describes:
+distinct pointer arguments are assumed not to alias the +8 lanes (they
+cannot overlap *within* a lane pair by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction, ins
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.operands import FReg, Mem, Reg
+from repro.machine.image import Image
+
+_PACKED = {Op.MOVSD: Op.MOVUPD, Op.ADDSD: Op.ADDPD,
+           Op.SUBSD: Op.SUBPD, Op.MULSD: Op.MULPD}
+
+
+def _is_rodata_lit(mem: Mem, image: Image) -> bool:
+    return (
+        mem.base is None and mem.index is None
+        and image.seg_rodata.contains(mem.disp & 0xFFFFFFFF, 8)
+    )
+
+
+def _plus8(a: Mem, b: Mem) -> bool:
+    return (
+        a.base == b.base and a.index == b.index and a.scale == b.scale
+        and b.disp == a.disp + 8
+    )
+
+
+def _packed_literal(image: Image, addr: int) -> int:
+    """A 16-byte rodata cell broadcasting the 8-byte literal at ``addr``."""
+    pool = getattr(image, "_packed_lit_pool", None)
+    if pool is None:
+        pool = {}
+        image._packed_lit_pool = pool
+    cached = pool.get(addr)
+    if cached is None:
+        raw = image.peek(addr, 8)
+        cached = image.add_rodata(f"__plit_{addr:x}", raw + raw, align=16)
+        pool[addr] = cached
+    return cached
+
+
+@dataclass
+class _Slice:
+    store_index: int
+    indices: list[int] = field(default_factory=list)  # slice insns, in order
+    store_mem: Mem | None = None
+    #: every xmm input was defined inside the window; packing an
+    #: incomplete slice would read garbage in lane 1
+    complete: bool = True
+
+    @property
+    def all_indices(self) -> list[int]:
+        return self.indices + [self.store_index]
+
+
+def _xmm_dst(insn: Instruction) -> FReg | None:
+    if insn.op in _PACKED and insn.operands and isinstance(insn.operands[0], FReg):
+        return insn.operands[0]
+    return None
+
+
+def _find_slices(insns: list[Instruction]) -> list[_Slice]:
+    """One slice per scalar double store, with its fp dataflow history."""
+    slices: list[_Slice] = []
+    last_boundary = -1
+    for index, insn in enumerate(insns):
+        if (
+            insn.op is Op.MOVSD
+            and len(insn.operands) == 2
+            and isinstance(insn.operands[0], Mem)
+            and isinstance(insn.operands[1], FReg)
+        ):
+            needed = {insn.operands[1]}
+            picked: list[int] = []
+            for j in range(index - 1, last_boundary, -1):
+                prior = insns[j]
+                dst = _xmm_dst(prior)
+                if dst is not None and dst in needed:
+                    picked.append(j)
+                    if prior.op is not Op.MOVSD or isinstance(prior.operands[1], FReg):
+                        # arithmetic / reg move: sources join the slice
+                        src = prior.operands[1]
+                        if isinstance(src, FReg):
+                            needed.add(src)
+                        if prior.op is not Op.MOVSD:
+                            needed.add(dst)  # RMW keeps needing earlier defs
+                        else:
+                            needed.discard(dst)
+                    else:
+                        needed.discard(dst)  # load: def satisfied
+            sl = _Slice(index, sorted(picked), insn.operands[0],
+                        complete=not needed)
+            slices.append(sl)
+            last_boundary = index
+    return slices
+
+
+def _residue_ok(insns: list[Instruction], a: _Slice, b: _Slice) -> bool:
+    """Instructions interleaved with the pair must be harmless (see
+    module doc)."""
+    span = range(min(a.all_indices), b.store_index + 1)
+    slice_set = set(a.all_indices) | set(b.all_indices)
+    read_regs: set = set()
+    for idx in slice_set:
+        for operand in insns[idx].operands:
+            if isinstance(operand, Mem):
+                if operand.base is not None:
+                    read_regs.add(("g", int(operand.base)))
+                if operand.index is not None:
+                    read_regs.add(("g", int(operand.index)))
+    from repro.isa.registers import GPR
+
+    for idx in span:
+        if idx in slice_set:
+            continue
+        insn = insns[idx]
+        cls = op_info(insn.op).opclass
+        if cls in (OpClass.JMP, OpClass.JCC, OpClass.CALL, OpClass.RET,
+                   OpClass.HLT, OpClass.PUSH, OpClass.POP):
+            return False
+        if any(isinstance(o, FReg) for o in insn.operands):
+            return False
+        ops = insn.operands
+        if ops and isinstance(ops[0], Mem):
+            if ops[0].base is not GPR.RSP:
+                return False  # non-frame store: possible data alias
+        if ops and isinstance(ops[0], Reg):
+            if ("g", int(ops[0].reg)) in read_regs:
+                return False  # residue rewrites a slice address register
+    return True
+
+
+def _isomorphic(insns, a: _Slice, b: _Slice, image: Image) -> bool:
+    if not (a.complete and b.complete):
+        return False
+    ia, ib = a.all_indices, b.all_indices
+    if len(ia) != len(ib):
+        return False
+    for xa, xb in zip(ia, ib):
+        pa, pb = insns[xa], insns[xb]
+        if pa.op is not pb.op or pa.op not in _PACKED:
+            return False
+        if len(pa.operands) != len(pb.operands):
+            return False
+        for oa, ob in zip(pa.operands, pb.operands):
+            if isinstance(oa, FReg) and isinstance(ob, FReg):
+                if oa != ob:
+                    return False
+            elif isinstance(oa, Mem) and isinstance(ob, Mem):
+                if oa == ob:
+                    if not _is_rodata_lit(oa, image):
+                        return False
+                elif not _plus8(oa, ob):
+                    return False
+            else:
+                return False
+    return True
+
+
+def _written_xmm(insns, sl: _Slice) -> set:
+    out = set()
+    for idx in sl.indices:
+        dst = _xmm_dst(insns[idx])
+        if dst is not None:
+            out.add(dst)
+    return out
+
+
+def _dead_after(insns: list[Instruction], start: int, regs: set) -> bool:
+    """Are all ``regs`` dead after position ``start``?  True when each is
+    rewritten before any read, or the block ends in RET (caller-saved XMM
+    die across returns)."""
+    pending = set(regs)
+    for insn in insns[start:]:
+        if not pending:
+            return True
+        if insn.op is Op.RET:
+            return True  # XMM registers are caller-saved
+        cls = op_info(insn.op).opclass
+        ops = insn.operands
+        for i, operand in enumerate(ops):
+            if not isinstance(operand, FReg) or operand not in pending:
+                continue
+            is_pure_dst = i == 0 and cls in (OpClass.FMOV, OpClass.VMOV, OpClass.FCVT)
+            if is_pure_dst and not (insn.op is Op.XORPD and ops[0] != ops[1]):
+                pending.discard(operand)
+            else:
+                return False  # read (or RMW) of a pending register
+    return not pending
+
+
+def _packed_slice(insns, a: _Slice, b: _Slice, image: Image) -> list[Instruction]:
+    out = []
+    for xa, xb in zip(a.all_indices, b.all_indices):
+        pa, pb = insns[xa], insns[xb]
+        operands = []
+        for oa, ob in zip(pa.operands, pb.operands):
+            if isinstance(oa, Mem) and oa == ob:
+                operands.append(Mem(disp=_packed_literal(image, oa.disp)))
+            else:
+                operands.append(oa)
+        out.append(ins(_PACKED[pa.op], *operands, note="vectorized"))
+    return out
+
+
+def vectorize_blocks(insns: list[Instruction], image: Image) -> list[Instruction]:
+    """Pair isomorphic adjacent store slices into packed code."""
+    slices = _find_slices(insns)
+    drop: set[int] = set()
+    inject: dict[int, list[Instruction]] = {}
+    k = 0
+    while k + 1 < len(slices):
+        a, b = slices[k], slices[k + 1]
+        if (
+            _isomorphic(insns, a, b, image)
+            and _residue_ok(insns, a, b)
+            and _dead_after(
+                insns, b.store_index + 1,
+                _written_xmm(insns, a) | _written_xmm(insns, b),
+            )
+        ):
+            inject[a.store_index] = _packed_slice(insns, a, b, image)
+            drop.update(a.all_indices)
+            drop.update(b.all_indices)
+            k += 2
+        else:
+            k += 1
+
+    if not inject:
+        return insns
+    out: list[Instruction] = []
+    for index, insn in enumerate(insns):
+        if index in inject:
+            out.extend(inject[index])
+        if index not in drop:
+            out.append(insn)
+    return out

@@ -1,0 +1,39 @@
+"""The shadow stack used for inlining (paper Sec. III.E).
+
+"We maintain a shadow stack remembering traced call instructions and
+corresponding return addresses."  Each frame also remembers the
+per-function effective configuration, which "may change during tracing,
+but is restored when returning to the previous function" (Sec. III.F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FunctionConfig
+
+
+@dataclass
+class ShadowFrame:
+    return_addr: int
+    fn_addr: int
+    config: FunctionConfig  # the *caller's* effective config, to restore
+
+
+class ShadowStack:
+    """The stack of traced (inlined) call frames."""
+    def __init__(self) -> None:
+        self.frames: list[ShadowFrame] = []
+
+    def push(self, return_addr: int, fn_addr: int, caller_config: FunctionConfig) -> None:
+        self.frames.append(ShadowFrame(return_addr, fn_addr, caller_config))
+
+    def pop(self) -> ShadowFrame:
+        return self.frames.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def __bool__(self) -> bool:
+        return bool(self.frames)

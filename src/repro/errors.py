@@ -1,0 +1,75 @@
+"""Shared exception hierarchy for the ``repro`` package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+distinguish "the substrate is being misused" from ordinary Python errors.
+The rewriter additionally uses :class:`RewriteFailure` for the *graceful*
+failure mode the paper mandates: a failed rewrite is a result, not a crash,
+and the caller keeps using the original function.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad operand form, range...)."""
+
+
+class DecodeError(ReproError):
+    """Bytes could not be decoded into an instruction."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class AssemblerError(ReproError):
+    """Text assembly was malformed (unknown mnemonic, bad operand...)."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside every mapped segment or violated permissions."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class SegmentationFault(MemoryError_):
+    """Access to an unmapped address during emulation."""
+
+
+class CpuError(ReproError):
+    """The interpreter hit an unexecutable state (bad opcode, stack smash...)."""
+
+
+class CompileError(ReproError):
+    """minic front-end error, carrying source position when available."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None) -> None:
+        loc = f" at {line}:{col}" if line is not None else ""
+        super().__init__(message + loc)
+        self.line = line
+        self.col = col
+
+
+class LinkError(ReproError):
+    """Unresolved symbol or duplicate definition while linking minic units."""
+
+
+class RewriteFailure(ReproError):
+    """The rewriter reached a situation it cannot handle.
+
+    Per the paper (Sec. III.G) this is *not catastrophic*: ``brew_rewrite``
+    catches it and returns a failed :class:`~repro.core.rewriter.RewriteResult`
+    so the caller falls back to the original function.  ``reason`` is a short
+    machine-readable tag (``indirect-jump``, ``decode-error``, ``buffer-full``,
+    ``variant-limit``, ``unsupported-insn``...).
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason

@@ -1,0 +1,28 @@
+"""``python -m repro.experiments`` — print every experiment table."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS, format_table
+
+
+def main(argv: list[str]) -> int:
+    """Print the requested experiment tables (all when no ids given)."""
+    wanted = set(a.upper() for a in argv)
+    failures = 0
+    for fn in ALL_EXPERIMENTS:
+        exp = fn()
+        if wanted and exp.id.upper() not in wanted:
+            continue
+        print(format_table(exp))
+        if not exp.all_checks_hold:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) failed their shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

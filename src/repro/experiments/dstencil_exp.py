@@ -1,0 +1,61 @@
+"""EXT-2: the distributed stencil ladder — the paper's introduction
+turned into one measured experiment (extension; composes EXP-1's stencil
+with EXP-6's PGAS substrate and EXT-1's prefetch recipe)."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import Experiment, Row
+from repro.models.distributed_stencil import DistributedStencilLab
+
+
+def ext2_distributed_stencil(
+    xs: int = 24, rows_per_node: int = 6, nnodes: int = 3
+) -> Experiment:
+    """EXT-2: generic PGAS sweep → specialized sweep → halo-prefetched."""
+    lab = DistributedStencilLab(xs=xs, rows_per_node=rows_per_node, nnodes=nnodes)
+
+    generic = lab.run_generic()
+    generic_out = lab.read_out()
+    plain = lab.rewrite_sweep()
+    assert plain.ok, plain.message
+    rewritten = lab.run_rewritten(plain)
+    rewritten_out = lab.read_out()
+    halo, halo_result = lab.run_halo_prefetched()
+    halo_out = lab.read_out()
+
+    oracle = lab.reference_out()
+
+    def matches(out) -> bool:
+        return all(abs(a - b) < 1e-12 for a, b in zip(out, oracle))
+
+    g = generic.run.cycles
+    exp = Experiment(
+        "EXT-2", "Distributed stencil: the introduction's workload, end to end",
+        "Sec. I: stencils over distributed data accessed through a PGAS "
+        "library abstraction; Sec. V + VIII machinery applied together",
+    )
+    exp.rows.append(Row("generic sweep via accessor pointer", g, 1.0,
+                        note=f"{generic.run.perf.remote_accesses} remote accesses, "
+                             f"{generic.run.perf.calls} calls"))
+    exp.rows.append(Row("specialized sweep (accessor+stencil folded)",
+                        rewritten.run.cycles, rewritten.run.cycles / g,
+                        note=f"{rewritten.run.perf.remote_accesses} remote accesses, "
+                             f"{rewritten.run.perf.calls} calls"))
+    exp.rows.append(Row("halo exchange (bulk)", halo.extra_cycles,
+                        halo.extra_cycles / g))
+    exp.rows.append(Row("halo-prefetched specialized sweep",
+                        halo.run.cycles, halo.run.cycles / g,
+                        note=f"{halo.run.perf.remote_accesses} remote accesses"))
+    exp.rows.append(Row("halo-prefetched total", halo.total_cycles,
+                        halo.total_cycles / g))
+    exp.check("all variants match the oracle",
+              matches(generic_out) and matches(rewritten_out) and matches(halo_out))
+    exp.check("specialization removes every accessor call",
+              rewritten.run.perf.calls == 0)
+    exp.check("specialization beats the generic sweep",
+              rewritten.run.cycles < g)
+    exp.check("halo prefetch removes all per-access remote traffic",
+              halo.run.perf.remote_accesses == 0)
+    exp.check("the full ladder is monotone",
+              halo.total_cycles < rewritten.run.cycles < g)
+    return exp

@@ -1,0 +1,79 @@
+"""Experiment result structures and paper-style table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Row:
+    """One measurement row (mirrors how Sec. V reports one variant)."""
+
+    label: str
+    cycles: int | float | None = None
+    #: ratio against the experiment's baseline row (1.0 = baseline)
+    ratio: float | None = None
+    #: what the paper reported for the same quantity, if it did
+    paper: str = ""
+    note: str = ""
+
+
+@dataclass
+class ShapeCheck:
+    """A qualitative claim that must hold for the reproduction to count."""
+
+    description: str
+    holds: bool
+
+
+@dataclass
+class Experiment:
+    """One reproduced table/figure: rows, shape checks, optional listing."""
+    id: str
+    title: str
+    paper_locus: str
+    rows: list[Row] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    listing: str = ""  # for figure-style experiments (EXP-2)
+
+    @property
+    def all_checks_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def check(self, description: str, holds: bool) -> None:
+        self.checks.append(ShapeCheck(description, holds))
+
+
+def _fmt_cycles(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return f"{value:,}"
+
+
+def format_table(exp: Experiment) -> str:
+    """Render an experiment the way the paper's prose reports it."""
+    lines = [
+        f"== {exp.id}: {exp.title}",
+        f"   (paper: {exp.paper_locus})",
+        "",
+    ]
+    if exp.rows:
+        label_w = max(len(r.label) for r in exp.rows) + 2
+        lines.append(f"   {'variant':<{label_w}}{'cycles':>14}  {'ratio':>8}  {'paper':>10}  note")
+        for r in exp.rows:
+            ratio = f"{r.ratio:.1%}" if r.ratio is not None else "-"
+            lines.append(
+                f"   {r.label:<{label_w}}{_fmt_cycles(r.cycles):>14}  {ratio:>8}  "
+                f"{r.paper:>10}  {r.note}"
+            )
+    if exp.listing:
+        lines.append("")
+        lines.extend("   " + line for line in exp.listing.splitlines())
+    if exp.checks:
+        lines.append("")
+        for c in exp.checks:
+            lines.append(f"   [{'ok' if c.holds else 'FAIL'}] {c.description}")
+    lines.append("")
+    return "\n".join(lines)

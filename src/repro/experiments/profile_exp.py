@@ -1,0 +1,82 @@
+"""EXP-8: profile-guided guarded specialization (paper Sec. III.D)."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import Experiment, Row
+from repro.core.dispatch import specialize_hot_param
+from repro.machine.vm import Machine
+from repro.profiling import ValueProfiler
+
+SOURCE = """
+noinline double axpy_at(double *x, double *y, long stride, long i) {
+    return 2.0 * x[i * stride] + y[i * stride];
+}
+noinline double sweep(double *x, double *y, long stride, long n) {
+    double t = 0.0;
+    for (long i = 0; i < n; i++)
+        t = t + axpy_at(x, y, stride, i);
+    return t;
+}
+"""
+
+
+def exp8_value_profile(n: int = 64) -> Experiment:
+    """EXP-8: observe a dominant parameter value, guard + specialize."""
+    machine = Machine()
+    machine.load(SOURCE)
+    x = machine.image.malloc(n * 8)
+    y = machine.image.malloc(n * 8)
+    for i in range(n):
+        machine.memory.write_f64(x + 8 * i, float(i))
+        machine.memory.write_f64(y + 8 * i, float(2 * i))
+
+    target = machine.symbol("axpy_at")
+    profiler = ValueProfiler(machine.cpu, watch={target})
+    with profiler:
+        machine.call("sweep", x, y, 1, n)  # stride is "usually 1"
+    profile = profiler.profile(target)
+    hot = profile.hot_value(3)
+
+    baseline = machine.call("sweep", x, y, 1, n)
+    spec = specialize_hot_param(
+        machine, "axpy_at", profile, param=3, example_args=(x, y, 1, 0)
+    )
+    assert spec is not None
+
+    # route the inner call through the guarded pointer by rewriting the
+    # sweep with the callee... simplest: call the guard directly per i
+    guarded_total = 0
+    import math
+
+    ok = True
+    for i in range(0, n, 7):
+        got = machine.call(spec.entry, x, y, 1, i).float_return
+        want = machine.call("axpy_at", x, y, 1, i).float_return
+        ok = ok and math.isclose(got, want, rel_tol=1e-12)
+        guarded_total += machine.call(spec.entry, x, y, 1, i).cycles
+    cold = machine.call(spec.entry, x, y, 5, 2)  # guard miss -> original
+    cold_ok = math.isclose(
+        cold.float_return, machine.call("axpy_at", x, y, 5, 2).float_return
+    )
+    hot_cycles = machine.call(spec.entry, x, y, 1, 3).cycles
+    orig_cycles = machine.call("axpy_at", x, y, 1, 3).cycles
+
+    exp = Experiment(
+        "EXP-8", "Guarded specialization for a hot parameter value",
+        "Sec. III.D: 'it may be observed that a parameter to a function "
+        "often is 42.  In this case, a specific variant can be generated "
+        "which is called after a check for the parameter actually being 42.'",
+    )
+    exp.rows.append(Row("observed hot value (stride)", hot, note=f"{profile.calls} calls profiled"))
+    exp.rows.append(Row("original accessor", orig_cycles, 1.0))
+    exp.rows.append(Row("guard + specialized (hot path)", hot_cycles,
+                        hot_cycles / orig_cycles))
+    exp.rows.append(Row("guard miss falls back", cold.cycles,
+                        cold.cycles / orig_cycles))
+    exp.check("profiler found the dominant value", hot == 1)
+    exp.check("hot path (guard included) beats the original",
+              hot_cycles < orig_cycles)
+    exp.check("guard miss still computes correctly", cold_ok)
+    exp.check("hot path results identical to original", ok)
+    exp.rows.append(Row("baseline sweep (context)", baseline.cycles))
+    return exp

@@ -1,0 +1,250 @@
+"""Stencil experiments EXP-1..EXP-5 (paper Section V).
+
+The paper ran 1000 iterations on a 500² matrix and reported seconds;
+the simulated substrate reports deterministic cycles, and ratios are
+size-independent once the matrix dwarfs the fixed overheads, so the
+default sizes here are laptop-friendly.  Paper reference ratios (from
+the reported seconds, generic = 100 %):
+
+    manual 37 %   rewritten 44 %   grouped-generic 110 %
+    rewritten-grouped 37 %   compiler-inlined same-unit 24 %
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import Experiment, Row
+from repro.models.stencil import StencilLab
+
+
+def _ratio_rows(lab: StencilLab, iters: int) -> dict[str, int]:
+    measurements: dict[str, int] = {}
+    measurements["generic"] = lab.run_generic(iters).cycles
+    measurements["manual"] = lab.run_manual(iters).cycles
+    rewritten = lab.rewrite_apply()
+    assert rewritten.ok, rewritten.message
+    measurements["rewritten"] = lab.run_with_apply(rewritten.entry, iters).cycles
+    measurements["grouped-generic"] = lab.run_grouped_generic(iters).cycles
+    grouped = lab.rewrite_apply(grouped=True)
+    assert grouped.ok, grouped.message
+    measurements["rewritten-grouped"] = lab.run_with_apply(
+        grouped.entry, iters, grouped=True
+    ).cycles
+    measurements["compiler-inlined"] = lab.run_compiler_inlined(iters).cycles
+    return measurements
+
+
+def exp1_specialize(xs: int = 24, ys: int = 24, iters: int = 2) -> Experiment:
+    """EXP-1 + EXP-3 measurements: every Section V variant."""
+    lab = StencilLab(xs=xs, ys=ys)
+    m = _ratio_rows(lab, iters)
+    g = m["generic"]
+    exp = Experiment(
+        "EXP-1", "Specializing the generic 2-D stencil",
+        "Sec. V.A/V.B: 2.00 s generic / 0.74 s manual / 0.88 s rewritten / "
+        "2.21 s grouped-generic / 0.74 s rewritten-grouped / 0.48 s same-unit",
+    )
+    paper = {
+        "generic": "100%", "manual": "37%", "rewritten": "44%",
+        "grouped-generic": "110%", "rewritten-grouped": "37%",
+        "compiler-inlined": "24%",
+    }
+    for label in ("generic", "manual", "rewritten", "grouped-generic",
+                  "rewritten-grouped", "compiler-inlined"):
+        exp.rows.append(Row(label, m[label], m[label] / g, paper[label]))
+    exp.check("rewritten ~2x faster than generic", m["rewritten"] < 0.6 * g)
+    exp.check("manual at least as fast as naive rewritten", m["manual"] <= m["rewritten"])
+    exp.check("grouping slows the generic version", m["grouped-generic"] > g)
+    exp.check(
+        "grouping recovers the rewritten version to ~manual",
+        m["rewritten-grouped"] <= m["rewritten"]
+        and m["rewritten-grouped"] <= 1.1 * m["manual"],
+    )
+    exp.check(
+        "compiler-inlined same-unit is the fastest",
+        m["compiler-inlined"] == min(m.values()),
+    )
+    return exp
+
+
+def exp2_listing(xs: int = 24, ys: int = 24) -> Experiment:
+    """EXP-2: the Figure 6 disassembly of the rewritten apply."""
+    lab = StencilLab(xs=xs, ys=ys)
+    result = lab.rewrite_apply()
+    assert result.ok, result.message
+    listing = lab.machine.disassemble_function(result.entry)
+    exp = Experiment(
+        "EXP-2", "Rewritten apply: generated code (Figure 6)",
+        "Fig. 6: no loop, one mulsd per stencil point, coefficients "
+        "referenced directly from known data addresses, row stride folded "
+        "into constant displacements",
+        listing=listing,
+    )
+    from repro.isa.encoding import iter_decode
+    from repro.isa.opcodes import Op, OpClass, op_info
+
+    code = lab.machine.image.peek(result.entry, result.code_size)
+    decoded = list(iter_decode(code, result.entry))
+    ops = [i.op for i in decoded]
+    points = len(lab.spec.points)
+    exp.check("straight-line code (no jumps)",
+              not any(op_info(o).opclass in (OpClass.JMP, OpClass.JCC) for o in ops))
+    exp.check(f"exactly {points} multiplications (one per point)",
+              sum(1 for o in ops if o is Op.MULSD) == points)
+    exp.check("coefficients loaded from absolute (known) addresses",
+              any("__lit" in lab.machine.disassemble_function(result.entry)
+                  for _ in [0]))
+    stride_folded = any(
+        f"{lab.xs * 8}" in str(i) or f"-{lab.xs * 8}" in str(i) for i in decoded
+    )
+    exp.check("row stride folded into a constant displacement", stride_folded)
+    exp.rows.append(Row("instructions", len(decoded)))
+    exp.rows.append(Row("code bytes", result.code_size))
+    exp.rows.append(Row("rewrite host-seconds", round(result.rewrite_seconds, 4)))
+    return exp
+
+
+def exp3_grouped(xs: int = 24, ys: int = 24, iters: int = 2) -> Experiment:
+    """EXP-3: the coefficient-grouping study in isolation."""
+    lab = StencilLab(xs=xs, ys=ys)
+    m = _ratio_rows(lab, iters)
+    g = m["generic"]
+    exp = Experiment(
+        "EXP-3", "Coefficient grouping (Sec. V.B)",
+        "grouped generic 2.21 s (~110 %); rewritten grouped 0.74 s (= manual)",
+    )
+    exp.rows.append(Row("generic", m["generic"], 1.0, "100%"))
+    exp.rows.append(Row("grouped-generic", m["grouped-generic"],
+                        m["grouped-generic"] / g, "110%"))
+    exp.rows.append(Row("rewritten", m["rewritten"], m["rewritten"] / g, "44%"))
+    exp.rows.append(Row("rewritten-grouped", m["rewritten-grouped"],
+                        m["rewritten-grouped"] / g, "37%"))
+    exp.rows.append(Row("manual", m["manual"], m["manual"] / g, "37%"))
+    exp.check("grouped generic slower than plain generic",
+              m["grouped-generic"] > m["generic"])
+    exp.check("grouped rewrite improves on naive rewrite",
+              m["rewritten-grouped"] <= m["rewritten"])
+    exp.check("grouped rewrite within 10% of manual",
+              m["rewritten-grouped"] <= 1.1 * m["manual"])
+    return exp
+
+
+def exp4_call_overhead(xs: int = 24, ys: int = 24, iters: int = 2) -> Experiment:
+    """EXP-4: cross-call reuse (0.74 s via pointer → 0.48 s same unit) and
+    the whole-sweep rewrite outlook."""
+    lab = StencilLab(xs=xs, ys=ys)
+    manual = lab.run_manual(iters).cycles
+    inlined = lab.run_compiler_inlined(iters).cycles
+
+    def run_sweep_variant(passes):
+        import math
+
+        sweep = lab.rewrite_sweep(passes=passes)
+        assert sweep.ok, sweep.message
+        lab.reset_matrices()
+        oracle = lab.read_matrix(lab.m1)
+        cycles = 0
+        calls = 0
+        src, dst = lab.m1, lab.m2
+        for _ in range(iters):
+            run = lab.machine.call(
+                sweep.entry, src, dst, lab.xs, lab.ys, lab.s_addr,
+                lab.machine.symbol("apply"),
+            )
+            cycles += run.cycles
+            calls += run.perf.calls
+            oracle = lab.reference_sweep(oracle)
+            got = lab.read_matrix(dst)
+            assert all(
+                math.isclose(e, g, rel_tol=1e-12, abs_tol=1e-12)
+                for e, g in zip(oracle, got)
+            ), f"whole-sweep rewrite with passes={passes} produced wrong results"
+            src, dst = dst, src
+        return cycles, calls
+
+    total, sweep_calls = run_sweep_variant(())
+    total_passes, _ = run_sweep_variant(("dce", "redundant-load", "peephole"))
+    generic = lab.run_generic(iters).cycles
+    exp = Experiment(
+        "EXP-4", "Call overhead and whole-sweep rewriting",
+        "Sec. V.B: manual via pointer 0.74 s vs same-compilation-unit 0.48 s "
+        "(≈65 %); 'it seems to be beneficial to apply our rewriter to a "
+        "complete matrix sweep'",
+    )
+    exp.rows.append(Row("manual via pointer", manual, 1.0, "100%"))
+    exp.rows.append(Row("manual same unit (compiler inlines)", inlined,
+                        inlined / manual, "65%"))
+    exp.rows.append(Row("whole sweep rewritten (calls specialized away)",
+                        total, total / manual, "-",
+                        note=f"{sweep_calls} runtime calls"))
+    exp.rows.append(Row("whole sweep rewritten + passes", total_passes,
+                        total_passes / manual, "-",
+                        note="block-local passes can't yet clean branchy code"))
+    exp.rows.append(Row("generic via pointer (for scale)", generic,
+                        generic / manual, "270%"))
+    exp.check("same-unit inlining beats everything callable via pointer",
+              inlined < manual)
+    exp.check("whole-sweep rewrite removes every indirect call",
+              sweep_calls == 0)
+    exp.check("whole-sweep rewrite beats per-call generic dispatch",
+              total < generic)
+    # the paper stops exactly here: "we currently miss optimization passes
+    # for the rewritten code to be able to get better" (Sec. V.B) — and so
+    # do we: the block-local pipeline cannot yet clean the branchy
+    # migration-heavy sweep code, only straight-line specializations
+    exp.check("passes do not regress the whole-sweep rewrite",
+              total_passes <= total)
+    return exp
+
+
+def exp5_makedynamic() -> Experiment:
+    """EXP-5: the Section V.C makeDynamic story (see tests/core/test_makedynamic)."""
+    from repro.core import (
+        BREW_KNOWN, brew_init_conf, brew_rewrite, brew_setfunc, brew_setpar,
+    )
+    from repro.machine.vm import Machine
+
+    source = """
+    noinline long makeDynamic(long x) { return x; }
+    noinline long count(long n) {
+        long total = 0;
+        for (long i = makeDynamic(0); i < n; i++)
+            total += i * 2;
+        return total;
+    }
+    """
+
+    def attempt(opt: int, force_unknown: bool):
+        m = Machine()
+        m.load(source, opt=opt)
+        conf = brew_init_conf()
+        brew_setpar(conf, 1, BREW_KNOWN)
+        conf.dynamic_markers.add(m.symbol("makeDynamic"))
+        conf.variant_threshold = 64
+        if force_unknown:
+            brew_setfunc(conf, None, force_unknown_results=True)
+        result = brew_rewrite(m, conf, "count", 24)
+        assert result.ok, result.message
+        check = m.call(result.entry, 24).int_return == sum(i * 2 for i in range(24))
+        return result, check
+
+    o1, ok1 = attempt(1, False)
+    o2, ok2 = attempt(2, False)
+    forced, ok3 = attempt(2, True)
+    exp = Experiment(
+        "EXP-5", "makeDynamic vs the optimizing compiler (Sec. V.C)",
+        "'the compiler created another loop count variable still starting "
+        "at 0 ... resulting in complete unrolling again'",
+    )
+    exp.rows.append(Row("-O1 + makeDynamic (works)", o1.code_size,
+                        note=f"{o1.stats.blocks} blocks"))
+    exp.rows.append(Row("-O2 + makeDynamic (defeated)", o2.code_size,
+                        note=f"{o2.stats.blocks} blocks, {o2.stats.migrations} migrations"))
+    exp.rows.append(Row("-O2 + force_unknown_results (works)", forced.code_size,
+                        note=f"{forced.stats.blocks} blocks"))
+    exp.check("all three variants compute correctly", ok1 and ok2 and ok3)
+    exp.check("-O1 makeDynamic keeps the loop rolled", o1.stats.blocks <= 12)
+    exp.check("-O2 normalization re-unrolls despite makeDynamic",
+              o2.stats.blocks > 4 * o1.stats.blocks)
+    exp.check("force_unknown_results resists the compiler",
+              forced.stats.blocks <= 16)
+    return exp

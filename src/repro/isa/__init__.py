@@ -1,0 +1,41 @@
+"""BX64 — the virtual 64-bit ISA used as the binary substrate.
+
+BX64 is modelled on the 64-bit x86 subset the paper's prototype handles:
+sixteen general-purpose registers with the x86 names, sixteen XMM registers
+(scalar double / packed 2×double), the ZF/SF/CF/OF condition flags,
+``[base + index*scale + disp]`` memory operands, and a variable-length
+byte-level encoding.  The encoding itself is our own compact format — the
+point of the substrate is that rewriting happens on *bytes*, with real
+decode/encode and jump relocation, not on a convenient IR.
+
+Public surface:
+
+* :mod:`repro.isa.registers` / :mod:`repro.isa.flags` — the register file
+  and condition flags;
+* :mod:`repro.isa.operands` — ``Reg``/``FReg``/``Imm``/``Mem``/``Label``;
+* :mod:`repro.isa.opcodes` — the ``Op`` enum plus per-opcode metadata;
+* :mod:`repro.isa.instruction` — the decoded ``Instruction`` form;
+* :mod:`repro.isa.encoding` — ``encode`` / ``decode`` (bytes level);
+* :mod:`repro.isa.semantics` — pure value/flag semantics shared by the
+  interpreter and the rewriter's tracer;
+* :mod:`repro.isa.costs` — the cycle cost model used by the interpreter.
+"""
+
+from repro.isa.registers import (
+    GPR, XMM, RAX, RBX, RCX, RDX, RSI, RDI, RSP, RBP,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+)
+from repro.isa.flags import Flag, Cond
+from repro.isa.operands import Reg, FReg, Imm, Mem, Label
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import encode, decode, encode_program
+from repro.isa.costs import CostModel
+
+__all__ = [
+    "GPR", "XMM", "RAX", "RBX", "RCX", "RDX", "RSI", "RDI", "RSP", "RBP",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+    "Flag", "Cond", "Reg", "FReg", "Imm", "Mem", "Label",
+    "Op", "OpClass", "op_info", "Instruction",
+    "encode", "decode", "encode_program", "CostModel",
+]

@@ -1,0 +1,156 @@
+"""The cycle cost model of the BX64 interpreter.
+
+The paper reports wall-clock seconds on an Intel i7-3740QM; our substrate
+reports deterministic *simulated cycles* instead (see DESIGN.md §2).  The
+evaluation only depends on ratios, and the ratios depend on the relative
+weight of (a) call/prologue overhead, (b) memory loads, (c) floating
+point arithmetic, and (d) loop bookkeeping — all of which this model
+prices explicitly and in one place, so that calibration is auditable.
+
+Default latencies are loosely Ivy-Bridge-flavoured (L1 load 4 cycles,
+double multiply 4, add 3, taken branch 3, ...) but make no claim beyond
+"plausible relative weights".  Every benchmark prints cycles and ratios,
+never seconds.
+
+Memory-segment surcharges (e.g. a simulated remote PGAS segment) are
+*not* part of this table; the memory subsystem adds them per access
+(:mod:`repro.machine.memory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.operands import Mem
+
+
+@dataclass
+class CostModel:
+    """Per-instruction cycle costs; see module docstring for calibration."""
+
+    mov: int = 1            # reg<->reg / reg<-imm moves
+    lea: int = 1
+    alu: int = 1
+    mul: int = 3
+    div: int = 24
+    shift: int = 1
+    cmp: int = 1
+    setcc: int = 1
+    fmov: int = 1           # xmm<->xmm
+    falu: int = 3           # addsd/subsd
+    fmul: int = 4
+    fdiv: int = 16
+    fcmp: int = 2
+    fcvt: int = 4
+    bitmov: int = 2
+    vmov: int = 1
+    valu: int = 4
+    push: int = 2
+    pop: int = 2
+    jmp: int = 2
+    jmp_indirect: int = 4
+    jcc_taken: int = 3
+    jcc_not_taken: int = 1
+    call: int = 8
+    call_indirect: int = 10
+    ret: int = 6
+    nop: int = 1
+    hlt: int = 0
+    load: int = 4           # added when an operand reads memory
+    store: int = 2          # added when the destination writes memory
+
+    #: Per-op overrides taking precedence over the class costs.
+    overrides: dict[Op, int] = field(default_factory=dict)
+
+    def base_cost(self, insn: Instruction, taken: bool | None = None) -> int:
+        """Cycles for ``insn`` excluding memory-segment surcharges.
+
+        ``taken`` matters only for conditional jumps.
+        """
+        op = insn.op
+        if op in self.overrides:
+            cost = self.overrides[op]
+        else:
+            cls = op_info(op).opclass
+            if cls is OpClass.MOV:
+                cost = self.mov
+            elif cls is OpClass.LEA:
+                cost = self.lea
+            elif cls is OpClass.ALU:
+                cost = self.alu
+            elif cls is OpClass.MUL:
+                cost = self.mul
+            elif cls is OpClass.DIV:
+                cost = self.div
+            elif cls is OpClass.SHIFT:
+                cost = self.shift
+            elif cls is OpClass.CMP:
+                cost = self.cmp
+            elif cls is OpClass.SETCC:
+                cost = self.setcc
+            elif cls is OpClass.FMOV:
+                cost = self.fmov
+            elif cls is OpClass.FALU:
+                cost = self.fmul if op is Op.MULSD else self.falu
+            elif cls is OpClass.FDIV:
+                cost = self.fdiv
+            elif cls is OpClass.FCMP:
+                cost = self.fcmp
+            elif cls is OpClass.FCVT:
+                cost = self.fcvt
+            elif cls is OpClass.BITMOV:
+                cost = self.bitmov
+            elif cls is OpClass.VMOV:
+                cost = self.vmov
+            elif cls is OpClass.VALU:
+                cost = self.valu
+            elif cls is OpClass.PUSH:
+                cost = self.push
+            elif cls is OpClass.POP:
+                cost = self.pop
+            elif cls is OpClass.JMP:
+                cost = self.jmp_indirect if op is Op.JMPI else self.jmp
+            elif cls is OpClass.JCC:
+                cost = self.jcc_taken if taken else self.jcc_not_taken
+            elif cls is OpClass.CALL:
+                cost = self.call_indirect if op is Op.CALLI else self.call
+            elif cls is OpClass.RET:
+                cost = self.ret
+            elif cls is OpClass.NOP:
+                cost = self.nop
+            elif cls is OpClass.HLT:
+                cost = self.hlt
+            else:  # pragma: no cover - exhaustive
+                cost = 1
+
+        # Memory-operand surcharges.  Convention: operand 0 is the
+        # destination for two-operand instructions; a Mem destination
+        # adds a store, a Mem source adds a load.  CMP/TEST/UCOMISD and
+        # jumps/pushes only read.
+        ops = insn.operands
+        cls = op_info(op).opclass
+        reads_only = cls in (OpClass.CMP, OpClass.FCMP, OpClass.PUSH, OpClass.JMP, OpClass.CALL)
+        for i, operand in enumerate(ops):
+            if not isinstance(operand, Mem):
+                continue
+            if i == 0 and len(ops) == 2 and not reads_only:
+                # MOV m, r stores only; ALU m, r is read-modify-write.
+                cost += self.store
+                if cls not in (OpClass.MOV, OpClass.FMOV, OpClass.VMOV):
+                    cost += self.load
+            elif cls is OpClass.LEA:
+                pass  # address computation only, no access
+            else:
+                cost += self.load
+        # PUSH/POP/CALL/RET implicitly touch the stack.
+        if cls in (OpClass.PUSH, OpClass.CALL):
+            cost += self.store
+        if cls in (OpClass.POP, OpClass.RET):
+            cost += self.load
+        return cost
+
+
+#: The default model used everywhere unless a benchmark overrides it.
+DEFAULT_COSTS = CostModel()

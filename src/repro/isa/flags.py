@@ -1,0 +1,102 @@
+"""Condition flags and condition codes of BX64.
+
+The paper's tracer maintains "the known-state for the various condition
+flags (e.g. zero or carry flag), being set with most x86 instructions
+depending on their result value" — so flags are first-class locations in
+both the interpreter state and the rewriter's known-world state.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+
+class Flag(IntEnum):
+    """Individual condition flags."""
+
+    ZF = 0  # zero
+    SF = 1  # sign
+    CF = 2  # carry (unsigned overflow/borrow)
+    OF = 3  # signed overflow
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class Cond(Enum):
+    """Condition codes used by ``Jcc`` / ``SETcc`` / ``CMOVcc``."""
+
+    E = "e"      # ZF
+    NE = "ne"    # !ZF
+    L = "l"      # SF != OF
+    LE = "le"    # ZF or SF != OF
+    G = "g"      # !ZF and SF == OF
+    GE = "ge"    # SF == OF
+    B = "b"      # CF
+    BE = "be"    # CF or ZF
+    A = "a"      # !CF and !ZF
+    AE = "ae"    # !CF
+    S = "s"      # SF
+    NS = "ns"    # !SF
+
+    @property
+    def negated(self) -> "Cond":
+        return _NEGATION[self]
+
+
+_NEGATION = {
+    Cond.E: Cond.NE, Cond.NE: Cond.E,
+    Cond.L: Cond.GE, Cond.GE: Cond.L,
+    Cond.LE: Cond.G, Cond.G: Cond.LE,
+    Cond.B: Cond.AE, Cond.AE: Cond.B,
+    Cond.BE: Cond.A, Cond.A: Cond.BE,
+    Cond.S: Cond.NS, Cond.NS: Cond.S,
+}
+
+#: Flags each condition code reads — the tracer folds a conditional jump
+#: only when every flag its condition reads is *known*.
+COND_READS: dict[Cond, tuple[Flag, ...]] = {
+    Cond.E: (Flag.ZF,),
+    Cond.NE: (Flag.ZF,),
+    Cond.L: (Flag.SF, Flag.OF),
+    Cond.GE: (Flag.SF, Flag.OF),
+    Cond.LE: (Flag.ZF, Flag.SF, Flag.OF),
+    Cond.G: (Flag.ZF, Flag.SF, Flag.OF),
+    Cond.B: (Flag.CF,),
+    Cond.AE: (Flag.CF,),
+    Cond.BE: (Flag.CF, Flag.ZF),
+    Cond.A: (Flag.CF, Flag.ZF),
+    Cond.S: (Flag.SF,),
+    Cond.NS: (Flag.SF,),
+}
+
+
+def cond_holds(cond: Cond, flags: dict[Flag, bool]) -> bool:
+    """Evaluate a condition code against concrete flag values."""
+    zf, sf = flags[Flag.ZF], flags[Flag.SF]
+    cf, of = flags[Flag.CF], flags[Flag.OF]
+    if cond is Cond.E:
+        return zf
+    if cond is Cond.NE:
+        return not zf
+    if cond is Cond.L:
+        return sf != of
+    if cond is Cond.GE:
+        return sf == of
+    if cond is Cond.LE:
+        return zf or sf != of
+    if cond is Cond.G:
+        return not zf and sf == of
+    if cond is Cond.B:
+        return cf
+    if cond is Cond.AE:
+        return not cf
+    if cond is Cond.BE:
+        return cf or zf
+    if cond is Cond.A:
+        return not cf and not zf
+    if cond is Cond.S:
+        return sf
+    if cond is Cond.NS:
+        return not sf
+    raise ValueError(f"unhandled condition {cond}")  # pragma: no cover

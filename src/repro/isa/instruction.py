@@ -1,0 +1,64 @@
+"""The decoded instruction form used throughout the toolchain.
+
+The rewriter keeps captured instructions "in decoded form" (paper,
+Sec. III.G) until final emission, so this type is the common currency of
+the assembler, the interpreter, the tracer, and the optimization passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.opcodes import Op, OpClass, TERMINATORS, op_info
+from repro.isa.operands import Operand
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One BX64 instruction.
+
+    ``addr`` and ``size`` are filled in by the decoder (or the final
+    emitter) and are ``None`` for freshly built instructions.
+    """
+
+    op: Op
+    operands: tuple[Operand, ...] = ()
+    addr: int | None = None
+    size: int | None = None
+    # Free-form annotation used by the rewriter to tag provenance
+    # ("inlined from 0x...", "compensation", ...); ignored by encoders.
+    note: str = field(default="", compare=False)
+    #: Original address this instruction derives from (set by the tracer
+    #: on emitted instructions; None for synthetic compensation/hook
+    #: code).  Feeds the debug map of Sec. VIII's debugging outlook.
+    origin: int | None = field(default=None, compare=False)
+
+    @property
+    def opclass(self) -> OpClass:
+        return op_info(self.op).opclass
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    @property
+    def writes_flags(self) -> bool:
+        return op_info(self.op).writes_flags
+
+    def with_operands(self, *operands: Operand) -> "Instruction":
+        """A copy with different operands (drops addr/size)."""
+        return Instruction(self.op, tuple(operands), note=self.note,
+                           origin=self.origin)
+
+    def with_note(self, note: str) -> "Instruction":
+        return replace(self, note=note)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return str(self.op)
+        return f"{self.op} " + ", ".join(str(o) for o in self.operands)
+
+
+def ins(op: Op, *operands: Operand, note: str = "") -> Instruction:
+    """Shorthand constructor: ``ins(Op.ADD, Reg(RAX), Imm(1))``."""
+    return Instruction(op, tuple(operands), note=note)

@@ -1,0 +1,117 @@
+"""Operand types of BX64 instructions.
+
+``Reg``/``FReg`` wrap a register id, ``Imm`` an integer immediate, ``Mem``
+an ``[base + index*scale + disp]`` effective address, and ``Label`` a
+symbolic jump/call target that exists only before encoding (the encoder
+resolves labels to ``rel32`` displacements).
+
+All operand types are immutable and hashable so they can serve as dict
+keys in the rewriter's known-world state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import GPR, XMM
+
+#: Valid index scales for memory operands, as on x86-64.
+VALID_SCALES = (1, 2, 4, 8)
+
+_INT64_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register operand."""
+
+    reg: GPR
+
+    def __str__(self) -> str:
+        return str(self.reg)
+
+
+@dataclass(frozen=True)
+class FReg:
+    """An XMM register operand."""
+
+    reg: XMM
+
+    def __str__(self) -> str:
+        return str(self.reg)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate.
+
+    Stored canonically as an unsigned 64-bit value (two's complement);
+    :attr:`signed` gives the signed view.  The encoder picks the 32- or
+    64-bit wire form automatically.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & _INT64_MASK)
+
+    @property
+    def signed(self) -> int:
+        v = self.value
+        return v - (1 << 64) if v >= (1 << 63) else v
+
+    def __str__(self) -> str:
+        return str(self.signed)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """An ``[base + index*scale + disp]`` memory operand."""
+
+    base: GPR | None = None
+    index: GPR | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in VALID_SCALES:
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.index is None and self.scale != 1:
+            # scale is meaningless without an index; canonicalize so that
+            # encode/decode roundtrips compare equal.
+            object.__setattr__(self, "scale", 1)
+        if not (-(1 << 31) <= self.disp < (1 << 31)):
+            raise ValueError(f"displacement {self.disp} does not fit in 32 bits")
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.base is not None:
+            parts.append(str(self.base))
+        if self.index is not None:
+            parts.append(f"{self.index}*{self.scale}")
+        if self.disp or not parts:
+            if parts and self.disp >= 0:
+                parts.append(f"+{self.disp}" if parts else str(self.disp))
+            else:
+                parts.append(str(self.disp))
+        body = ""
+        for i, p in enumerate(parts):
+            if i and not p.startswith(("+", "-")):
+                body += "+" + p
+            else:
+                body += p
+        return f"[{body}]"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic branch/call target used by the builder before encoding."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Anything that may appear as an instruction operand.
+Operand = Reg | FReg | Imm | Mem | Label

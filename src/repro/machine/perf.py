@@ -1,0 +1,74 @@
+"""Performance counters for the simulated machine.
+
+``cycles`` is the headline number every benchmark reports; the rest
+exist so experiments can explain *why* a variant is faster (fewer loads,
+fewer call pairs, fewer branches) the way the paper's prose does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PerfCounters:
+    """Cycle/instruction/memory/branch counters for one CPU."""
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    calls: int = 0
+    rets: int = 0
+    #: Surcharge cycles paid to special segments (e.g. remote nodes).
+    remote_cycles: int = 0
+    remote_accesses: int = 0
+    by_segment_loads: dict[str, int] = field(default_factory=dict)
+    by_segment_stores: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            if f.type == "int" or isinstance(getattr(self, f.name), int):
+                setattr(self, f.name, 0)
+        self.by_segment_loads = {}
+        self.by_segment_stores = {}
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy, for later delta()."""
+        snap = PerfCounters()
+        for f in fields(self):
+            value = getattr(self, f.name)
+            setattr(snap, f.name, dict(value) if isinstance(value, dict) else value)
+        return snap
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        """Counters accumulated since ``earlier`` (a snapshot)."""
+        out = PerfCounters()
+        for f in fields(self):
+            now = getattr(self, f.name)
+            before = getattr(earlier, f.name)
+            if isinstance(now, dict):
+                setattr(
+                    out,
+                    f.name,
+                    {k: now.get(k, 0) - before.get(k, 0) for k in now},
+                )
+            else:
+                setattr(out, f.name, now - before)
+        return out
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "taken_branches": self.taken_branches,
+            "calls": self.calls,
+            "rets": self.rets,
+            "remote_cycles": self.remote_cycles,
+            "remote_accesses": self.remote_accesses,
+        }

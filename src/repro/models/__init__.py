@@ -1,0 +1,13 @@
+"""Programming-model libraries built on top of the substrate — the
+"higher-level programming models provided as libraries" the paper argues
+binary rewriting should accelerate.
+
+* :mod:`repro.models.stencil` — the generic 2-D stencil library of
+  Sec. V (Figures 4/5) plus the manual and coefficient-grouped variants
+  of Sec. V.B;
+* :mod:`repro.models.pgas` — a DASH-like PGAS global array with
+  global→local index translation and locality checks in ``operator[]``
+  (the motivating overhead of Sec. I/V);
+* :mod:`repro.models.domainmap` — Chapel-style domain maps with
+  respecialization after redistribution (Sec. VI).
+"""

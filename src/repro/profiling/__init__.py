@@ -1,0 +1,19 @@
+"""Profiling support (paper Sec. III.D).
+
+"Partial evaluation works when input data is known.  This often may not
+be known at first, but statistical information can be collected by
+profiling.  For example, it may be observed that a parameter to a
+function often is 42.  In this case, a specific variant can be generated
+which is called after a check for the parameter actually being 42."
+
+* :class:`~repro.profiling.value_profile.ValueProfiler` — records
+  argument-register values at every call via a CPU call hook;
+* :class:`~repro.profiling.hotness.CallCounter` — call counts for
+  hotspot selection;
+* the guard-stub generator lives in :mod:`repro.core.dispatch`.
+"""
+
+from repro.profiling.value_profile import ValueProfiler
+from repro.profiling.hotness import CallCounter
+
+__all__ = ["ValueProfiler", "CallCounter"]

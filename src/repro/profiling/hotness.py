@@ -1,0 +1,44 @@
+"""Call-count based hotspot detection.
+
+"Rewriting makes sense only for performance sensitive hot code paths"
+(paper Sec. VIII) — this is the minimal machinery to find them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.machine.cpu import CPU
+
+
+class CallCounter:
+    """Counts calls per target address via a CPU call hook."""
+
+    def __init__(self, cpu: CPU) -> None:
+        self.cpu = cpu
+        self.counts: Counter = Counter()
+        self._attached = False
+
+    def attach(self) -> "CallCounter":
+        if not self._attached:
+            self.cpu.call_hooks.append(self._on_call)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.cpu.call_hooks.remove(self._on_call)
+            self._attached = False
+
+    def __enter__(self) -> "CallCounter":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _on_call(self, cpu: CPU, target: int) -> None:
+        self.counts[target] += 1
+
+    def hotspots(self, top: int = 5) -> list[tuple[int, int]]:
+        """``[(address, call count), ...]`` for the hottest targets."""
+        return self.counts.most_common(top)

@@ -1,0 +1,72 @@
+"""Argument-value profiling via CPU call hooks."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.abi.callconv import INT_ARG_REGS
+from repro.machine.cpu import CPU
+
+
+@dataclass
+class FunctionProfile:
+    """Observed call count and per-parameter value histograms."""
+    calls: int = 0
+    #: per 1-based integer-parameter index: value histogram
+    values: dict[int, Counter] = field(default_factory=dict)
+
+    def hot_value(self, param: int, min_share: float = 0.8) -> int | None:
+        """The dominant value of a parameter, if any exceeds ``min_share``."""
+        hist = self.values.get(param)
+        if not hist or self.calls == 0:
+            return None
+        value, count = hist.most_common(1)[0]
+        return value if count / self.calls >= min_share else None
+
+
+class ValueProfiler:
+    """Observes integer argument registers at every call.
+
+    The paper notes variants can be generated "with built-in profiling
+    functionality"; observing from the host side is the cheap equivalent
+    for collecting the same statistics (injected in-image profiling is
+    available via ``RewriteConfig.entry_hook``).
+    """
+
+    def __init__(self, cpu: CPU, watch: set[int] | None = None, max_params: int = 4) -> None:
+        self.cpu = cpu
+        self.watch = watch  # None = all targets
+        self.max_params = max_params
+        self.profiles: dict[int, FunctionProfile] = {}
+        self._hook = self._on_call
+        self._attached = False
+
+    def attach(self) -> "ValueProfiler":
+        if not self._attached:
+            self.cpu.call_hooks.append(self._hook)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.cpu.call_hooks.remove(self._hook)
+            self._attached = False
+
+    def __enter__(self) -> "ValueProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _on_call(self, cpu: CPU, target: int) -> None:
+        if self.watch is not None and target not in self.watch:
+            return
+        profile = self.profiles.setdefault(target, FunctionProfile())
+        profile.calls += 1
+        for index in range(self.max_params):
+            value = cpu.regs[INT_ARG_REGS[index]]
+            profile.values.setdefault(index + 1, Counter())[value] += 1
+
+    def profile(self, target: int) -> FunctionProfile:
+        return self.profiles.get(target, FunctionProfile())

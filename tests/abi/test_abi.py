@@ -1,0 +1,64 @@
+"""Calling-convention and frame-layout tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abi.callconv import (
+    CALLEE_SAVED, CALLER_SAVED, FLOAT_ARG_REGS, INT_ARG_REGS, RET_FLOAT,
+    RET_INT, classify_args,
+)
+from repro.abi.frame import FrameLayout
+from repro.isa.registers import GPR, XMM
+
+
+def test_saved_sets_partition_gprs():
+    assert CALLEE_SAVED | CALLER_SAVED == frozenset(GPR)
+    assert not (CALLEE_SAVED & CALLER_SAVED)
+
+
+def test_argument_registers_are_caller_saved():
+    assert all(r in CALLER_SAVED for r in INT_ARG_REGS)
+
+
+def test_return_registers():
+    assert RET_INT is GPR.RAX and RET_FLOAT is XMM.XMM0
+
+
+def test_classify_args_interleaves_classes():
+    out = classify_args(["int", "float", "int", "float", "int"])
+    assert [r for t, r in out if t == "int"] == list(INT_ARG_REGS[:3])
+    assert [r for t, r in out if t == "float"] == list(FLOAT_ARG_REGS[:2])
+
+
+def test_classify_args_overflow_rejected():
+    with pytest.raises(ValueError):
+        classify_args(["int"] * 7)
+    with pytest.raises(ValueError):
+        classify_args(["float"] * 9)
+    with pytest.raises(ValueError):
+        classify_args(["vector"])
+
+
+def test_frame_layout_alignment_and_offsets():
+    frame = FrameLayout()
+    a = frame.alloc("a", 8)
+    b = frame.alloc("b", 24)
+    c = frame.alloc("c", 4)  # rounded up
+    assert a == -8 and b == -32 and c == -40
+    assert frame.offset_of("b") == -32
+    assert frame.aligned_size % 16 == 0
+
+
+def test_frame_layout_rejects_duplicates():
+    frame = FrameLayout()
+    frame.alloc("x", 8)
+    with pytest.raises(ValueError):
+        frame.alloc("x", 8)
+
+
+def test_anonymous_slots_do_not_collide():
+    frame = FrameLayout()
+    s1 = frame.alloc_anonymous(8)
+    s2 = frame.alloc_anonymous(8)
+    assert s1 != s2

@@ -1,0 +1,97 @@
+"""Disassembler golden tests (Figure-6-style output)."""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble, format_instruction, format_listing
+from repro.isa.encoding import iter_decode
+from repro.isa.instruction import ins
+from repro.isa.opcodes import Op
+from repro.isa.operands import FReg, Imm, Mem, Reg
+from repro.isa.registers import GPR, XMM
+
+
+def test_golden_listing():
+    src = """
+    mov rax, 42
+    movsd xmm1, [0x615100]
+    mulsd xmm1, xmm0
+    add rax, [rbp-8]
+    ret
+    """
+    code, _ = assemble(src, base_addr=0x1000)
+    listing = disassemble(code, 0x1000)
+    lines = listing.splitlines()
+    assert lines[0] == "i-01: 0x1000: mov rax, 42"
+    assert "movsd xmm1, [0x615100]" in lines[1]
+    assert "mulsd xmm1, xmm0" in lines[2]
+    assert "[rbp-8]" in lines[3]
+    assert lines[4].endswith("ret")
+
+
+def test_symbols_resolve_in_calls_and_absolute_loads():
+    insn = ins(Op.CALL, Imm(0x9000))
+    text = format_instruction(insn, symbols={0x9000: "apply"})
+    assert text == "call apply (0x9000)"
+    load = ins(Op.MOVSD, FReg(XMM.XMM0), Mem(disp=0x200010))
+    text = format_instruction(load, symbols={0x200010: "__lit_bff0"})
+    assert "__lit_bff0" in text
+
+
+def test_listing_without_addresses():
+    code, _ = assemble("nop\nret", base_addr=0)
+    listing = disassemble(code, 0, with_addresses=False)
+    assert listing.splitlines() == ["i-01: nop", "i-02: ret"]
+
+
+def test_negative_displacement_formatting():
+    insn = ins(Op.MOV, Reg(GPR.RAX), Mem(GPR.RSP, disp=-40))
+    assert format_instruction(insn) == "mov rax, [rsp-40]"
+
+
+def test_scaled_index_formatting():
+    insn = ins(Op.MOV, Reg(GPR.RAX), Mem(GPR.RDI, GPR.RCX, 8, 16))
+    assert format_instruction(insn) == "mov rax, [rdi+rcx*8+16]"
+
+
+def test_format_listing_numbers_sequentially():
+    insns = [ins(Op.NOP), ins(Op.NOP), ins(Op.RET)]
+    lines = format_listing(insns, with_addresses=False).splitlines()
+    assert [l.split(":")[0] for l in lines] == ["i-01", "i-02", "i-03"]
+
+
+def test_every_opcode_formats_without_crashing():
+    # build one instruction per opcode with plausible operands and make
+    # sure encode -> decode -> format holds together
+    from repro.isa.encoding import encode, decode
+    from repro.isa.opcodes import OpClass, op_info
+
+    samples = []
+    for op in Op:
+        cls = op_info(op).opclass
+        if cls in (OpClass.RET, OpClass.NOP, OpClass.HLT):
+            samples.append(ins(op))
+        elif cls in (OpClass.JMP, OpClass.JCC, OpClass.CALL):
+            if op in (Op.JMPI, Op.CALLI):
+                samples.append(ins(op, Reg(GPR.RAX)))
+            else:
+                samples.append(ins(op, Imm(0x2000)))
+        elif cls in (OpClass.PUSH, OpClass.POP, OpClass.DIV, OpClass.SETCC):
+            samples.append(ins(op, Reg(GPR.RCX)))
+        elif cls in (OpClass.FMOV, OpClass.FALU, OpClass.FDIV, OpClass.FCMP,
+                     OpClass.VMOV, OpClass.VALU):
+            samples.append(ins(op, FReg(XMM.XMM1), FReg(XMM.XMM2)))
+        elif op is Op.CVTSI2SD:
+            samples.append(ins(op, FReg(XMM.XMM0), Reg(GPR.RAX)))
+        elif op is Op.CVTTSD2SI:
+            samples.append(ins(op, Reg(GPR.RAX), FReg(XMM.XMM0)))
+        elif op is Op.MOVQ:
+            samples.append(ins(op, Reg(GPR.RAX), FReg(XMM.XMM0)))
+        elif cls is OpClass.LEA:
+            samples.append(ins(op, Reg(GPR.RAX), Mem(GPR.RSP, disp=8)))
+        else:
+            samples.append(ins(op, Reg(GPR.RAX), Imm(3)))
+    for insn in samples:
+        out = decode(encode(insn, 0x1000), 0x1000)
+        text = format_instruction(out)
+        assert text and str(out.op) in text

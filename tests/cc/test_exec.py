@@ -1,0 +1,391 @@
+"""End-to-end minic tests: compile, load, run, check results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.vm import Machine
+
+
+def run(source: str, fn: str = "main", *args, opt: int = 2):
+    m = Machine()
+    m.load(source, opt=opt)
+    return m.call(fn, *args)
+
+
+@pytest.mark.parametrize("opt", [0, 1, 2])
+def test_return_constant(opt):
+    assert run("long main() { return 42; }", opt=opt).int_return == 42
+
+
+@pytest.mark.parametrize("opt", [0, 1, 2])
+def test_arith(opt):
+    src = "long f(long a, long b) { return (a + b) * 3 - a / b - a % b; }"
+    # (7+2)*3 - 3 - 1 = 23
+    assert run(src, "f", 7, 2, opt=opt).int_return == 23
+
+
+def test_int_alias_and_negative_div():
+    src = "int f(int a, int b) { return a / b; }"
+    assert run(src, "f", -7 & (2**64 - 1), 2).int_return == -3
+
+
+@pytest.mark.parametrize("opt", [0, 2])
+def test_float_arith(opt):
+    src = "double f(double a, double b) { return (a + b) * 2.0 - a / b; }"
+    assert run(src, "f", 3.0, 1.5, opt=opt).float_return == (3.0 + 1.5) * 2.0 - 2.0
+
+
+def test_mixed_int_float_promotion():
+    src = "double f(long a, double b) { return a + b * 2; }"
+    assert run(src, "f", 3, 1.5).float_return == 6.0
+
+
+def test_float_to_int_cast_truncates():
+    src = "long f(double x) { return (long)x; }"
+    assert run(src, "f", 41.99).int_return == 41
+    assert run(src, "f", -41.99).int_return == -41
+
+
+def test_int_to_float_cast():
+    src = "double f(long x) { return (double)x / 2; }"
+    assert run(src, "f", 7).float_return == 3.5
+
+
+def test_if_else():
+    src = """
+    long f(long x) {
+        if (x > 10) return 1;
+        else if (x > 0) return 2;
+        return 3;
+    }
+    """
+    assert run(src, "f", 11).int_return == 1
+    assert run(src, "f", 5).int_return == 2
+    assert run(src, "f", -5 & (2**64 - 1)).int_return == 3
+
+
+def test_while_loop():
+    src = """
+    long f(long n) {
+        long total = 0;
+        while (n > 0) { total += n; n--; }
+        return total;
+    }
+    """
+    assert run(src, "f", 10).int_return == 55
+
+
+@pytest.mark.parametrize("opt", [0, 1, 2])
+def test_for_loop(opt):
+    src = """
+    long f(long n) {
+        long total = 0;
+        for (long i = 1; i <= n; i++) total = total + i;
+        return total;
+    }
+    """
+    assert run(src, "f", 100, opt=opt).int_return == 5050
+
+
+def test_nested_loops_break_continue():
+    src = """
+    long f() {
+        long count = 0;
+        for (long i = 0; i < 10; i++) {
+            if (i == 5) continue;
+            if (i == 8) break;
+            for (long j = 0; j < 3; j++) {
+                if (j == 2) break;
+                count++;
+            }
+        }
+        return count;
+    }
+    """
+    # i in 0..7 except 5 -> 7 iterations, each adds 2
+    assert run(src, "f").int_return == 14
+
+
+def test_logical_ops_short_circuit():
+    src = """
+    long g_calls = 0;
+    long bump() { g_calls = g_calls + 1; return 1; }
+    long f(long x) {
+        if (x > 0 && bump() > 0) { }
+        if (x > 0 || bump() > 0) { }
+        return g_calls;
+    }
+    """
+    assert run(src, "f", 1).int_return == 1  # && calls bump, || short-circuits
+    assert run(src, "f", 0).int_return == 1  # && short-circuits, || calls bump
+
+
+def test_logical_value_form():
+    src = "long f(long a, long b) { return (a < b) + (a && b) + !a; }"
+    assert run(src, "f", 0, 5).int_return == 1 + 0 + 1
+
+
+def test_bitwise_and_shifts():
+    src = "long f(long a, long b) { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1); }"
+    a, b = 12, 10
+    expected = ((a & b) | (a ^ b)) + (a << 2) + (b >> 1)
+    assert run(src, "f", a, b).int_return == expected
+
+
+def test_unary_ops():
+    src = "long f(long a) { return -a + ~a; }"
+    assert run(src, "f", 5).int_return == -5 + ~5
+
+
+def test_pointers_and_deref():
+    src = """
+    long f(long x) {
+        long v = x;
+        long *p = &v;
+        *p = *p + 1;
+        return v;
+    }
+    """
+    assert run(src, "f", 41).int_return == 42
+
+
+def test_pointer_arithmetic():
+    src = """
+    long f(long *base) {
+        long *p = base + 2;
+        return *p + p[1] + *(base + 4) - (p - base);
+    }
+    """
+    m = Machine()
+    m.load(src)
+    buf = m.image.malloc(64)
+    for i in range(8):
+        m.memory.write_u64(buf + 8 * i, 100 + i)
+    # *p=102, p[1]=103, *(base+4)=104, p-base=2
+    assert m.call("f", buf).int_return == 102 + 103 + 104 - 2
+
+
+def test_local_array():
+    src = """
+    long f() {
+        long a[10];
+        for (long i = 0; i < 10; i++) a[i] = i * i;
+        long total = 0;
+        for (long i = 0; i < 10; i++) total += a[i];
+        return total;
+    }
+    """
+    assert run(src, "f").int_return == sum(i * i for i in range(10))
+
+
+def test_2d_array():
+    src = """
+    double m[4][5];
+    double f() {
+        for (long y = 0; y < 4; y++)
+            for (long x = 0; x < 5; x++)
+                m[y][x] = (double)(y * 10 + x);
+        return m[2][3] + m[3][4];
+    }
+    """
+    assert run(src, "f").float_return == 23.0 + 34.0
+
+
+def test_struct_members():
+    src = """
+    struct Point { long x; long y; double w; };
+    long f() {
+        struct Point p;
+        p.x = 3; p.y = 4; p.w = 1.5;
+        struct Point *q = &p;
+        q->x = q->x + q->y;
+        return p.x;
+    }
+    """
+    assert run(src, "f").int_return == 7
+
+
+def test_struct_array_field():
+    src = """
+    struct P { double f; long dx; long dy; };
+    struct S { long ps; struct P p[4]; };
+    struct S s = { 2, { {0.5, 1, 2}, {1.5, 3, 4} } };
+    double f() {
+        return s.p[0].f + s.p[1].f + (double)(s.p[1].dx + s.p[0].dy);
+    }
+    """
+    assert run(src, "f").float_return == 0.5 + 1.5 + 5.0
+
+
+def test_global_scalars_and_init():
+    src = """
+    long g = 5;
+    double d = 2.5;
+    long f() { g = g + 1; return g + (long)d; }
+    """
+    assert run(src, "f").int_return == 8
+
+
+def test_global_array_init():
+    src = """
+    long table[5] = { 10, 20, 30 };
+    long f() { return table[0] + table[2] + table[4]; }
+    """
+    assert run(src, "f").int_return == 40  # trailing elements zeroed
+
+
+def test_function_calls():
+    src = """
+    long square(long x) { return x * x; }
+    long f(long n) { return square(n) + square(n + 1); }
+    """
+    assert run(src, "f", 3, opt=0).int_return == 9 + 16
+
+
+def test_recursion():
+    src = """
+    noinline long fib(long n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+    """
+    assert run(src, "fib", 12).int_return == 144
+
+
+def test_function_pointer_call():
+    src = """
+    typedef long (*op_t)(long, long);
+    noinline long add(long a, long b) { return a + b; }
+    noinline long mul(long a, long b) { return a * b; }
+    long f(long which, long a, long b) {
+        op_t op;
+        if (which) op = add;
+        else op = mul;
+        return op(a, b);
+    }
+    """
+    assert run(src, "f", 1, 3, 4).int_return == 7
+    assert run(src, "f", 0, 3, 4).int_return == 12
+
+
+def test_function_pointer_deref_call_syntax():
+    src = """
+    typedef double (*apply_t)(double, double);
+    noinline double mul(double a, double b) { return a * b; }
+    double f(double a, double b) {
+        apply_t g = mul;
+        return (*g)(a, b);
+    }
+    """
+    assert run(src, "f", 2.0, 3.5).float_return == 7.0
+
+
+def test_address_of_function():
+    src = """
+    noinline long inc(long x) { return x + 1; }
+    long f(long x) {
+        long (*p)(long);
+        p = &inc;
+        return p(x);
+    }
+    """
+    assert run(src, "f", 9).int_return == 10
+
+
+def test_many_mixed_args():
+    src = """
+    noinline double combine(long a, double x, long b, double y, long c) {
+        return (double)(a + b + c) + x * y;
+    }
+    double f() { return combine(1, 2.0, 3, 4.0, 5); }
+    """
+    assert run(src, "f").float_return == 9.0 + 8.0
+
+
+def test_call_preserves_live_values():
+    src = """
+    noinline long id(long x) { return x; }
+    long f(long a) { return a + id(a * 2) + a; }
+    """
+    assert run(src, "f", 5).int_return == 5 + 10 + 5
+
+
+def test_float_call_preserves_live_values():
+    src = """
+    noinline double id(double x) { return x; }
+    double f(double a) { return a + id(a * 2.0) + a; }
+    """
+    assert run(src, "f", 1.5).float_return == 1.5 + 3.0 + 1.5
+
+
+def test_void_function():
+    src = """
+    long g = 0;
+    noinline void set(long v) { g = v; }
+    long f() { set(13); return g; }
+    """
+    assert run(src, "f").int_return == 13
+
+
+def test_sizeof():
+    src = """
+    struct P { double f; long dx; long dy; };
+    long f() { return sizeof(struct P) + sizeof(long) + sizeof(double*); }
+    """
+    assert run(src, "f").int_return == 24 + 8 + 8
+
+
+def test_comparisons_double():
+    src = """
+    long f(double a, double b) {
+        return (a < b) * 1 + (a <= b) * 2 + (a > b) * 4 + (a >= b) * 8 + (a == b) * 16;
+    }
+    """
+    assert run(src, "f", 1.0, 2.0).int_return == 1 + 2
+    assert run(src, "f", 2.0, 2.0).int_return == 2 + 8 + 16
+    assert run(src, "f", 3.0, 2.0).int_return == 4 + 8
+
+
+def test_compound_assignment_ops():
+    src = """
+    long f(long a) {
+        long x = a;
+        x += 3; x *= 2; x -= 4; x /= 3;
+        x <<= 1; x >>= 1; x &= 255; x |= 1; x ^= 2;
+        return x;
+    }
+    """
+    x = 10
+    x += 3; x *= 2; x -= 4; x //= 3
+    x <<= 1; x >>= 1; x &= 255; x |= 1; x ^= 2
+    assert run(src, "f", 10).int_return == x
+
+
+def test_extern_host_function():
+    src = """
+    extern long host_add(long a, long b);
+    long f(long x) { return host_add(x, 10); }
+    """
+    m = Machine()
+
+    def host_add(cpu):
+        cpu.regs[0] = (cpu.regs[7] + cpu.regs[6]) & (2**64 - 1)  # rax = rdi+rsi
+
+    m.register_host_function("host_add", host_add)
+    m.load(src)
+    assert m.call("f", 5).int_return == 15
+
+
+def test_cross_unit_linking():
+    m = Machine()
+    m.load("long helper(long x) { return x * 3; }", unit="lib")
+    m.load("extern long helper(long x); long f(long x) { return helper(x) + 1; }", unit="app")
+    assert m.call("f", 4).int_return == 13
+
+
+def test_global_visible_across_units():
+    m = Machine()
+    m.load("long shared = 7;", unit="lib")
+    m.load("extern long shared; long f() { return shared; }", unit="app")
+    assert m.call("f").int_return == 7

@@ -1,0 +1,159 @@
+"""minic AST-level optimizer tests: folding, inlining, loop normalization."""
+
+from __future__ import annotations
+
+from repro.cc import ast_nodes as A
+from repro.cc.optimizer import optimize_unit
+from repro.cc.parser import parse
+from repro.machine.vm import Machine
+
+
+def first_return(unit, fn="f"):
+    def find(stmts):
+        for s in stmts:
+            if isinstance(s, A.Return):
+                return s
+            if isinstance(s, A.Block):
+                found = find(s.stmts)
+                if found:
+                    return found
+        return None
+
+    return find(unit.function(fn).body.stmts)
+
+
+def test_constant_folding_int():
+    unit = optimize_unit(parse("long f() { return 2 * 3 + 4 / 2 - (7 % 3); }"), 1)
+    ret = first_return(unit)
+    assert isinstance(ret.expr, A.IntLit) and ret.expr.value == 7
+
+
+def test_constant_folding_float():
+    unit = optimize_unit(parse("double f() { return 1.5 * 2.0 + 1.0; }"), 1)
+    ret = first_return(unit)
+    assert isinstance(ret.expr, A.FloatLit) and ret.expr.value == 4.0
+
+
+def test_folding_respects_truncating_division():
+    unit = optimize_unit(parse("long f() { return -7 / 2; }"), 1)
+    ret = first_return(unit)
+    assert isinstance(ret.expr, A.IntLit) and ret.expr.value == -3
+
+
+def test_division_by_zero_not_folded():
+    unit = optimize_unit(parse("long f() { return 1 / 0; }"), 1)
+    ret = first_return(unit)
+    assert isinstance(ret.expr, A.Binary)  # left for runtime to fault
+
+
+def test_no_folding_at_o0():
+    unit = optimize_unit(parse("long f() { return 2 + 3; }"), 0)
+    ret = first_return(unit)
+    assert isinstance(ret.expr, A.Binary)
+
+
+def test_single_return_function_inlined_at_o2():
+    src = """
+    long square(long x) { return x * x; }
+    long f(long a) { long r = square(a + 1); return r; }
+    """
+    unit = optimize_unit(parse(src), 2)
+    # the VarDecl init is no longer a Call
+    decls = []
+
+    def walk(stmts):
+        for s in stmts:
+            if isinstance(s, A.Block):
+                walk(s.stmts)
+            elif isinstance(s, A.VarDecl):
+                decls.append(s)
+
+    walk(unit.function("f").body.stmts)
+    assert all(not isinstance(d.init, A.Call) for d in decls if d.name == "r")
+
+
+def test_noinline_respected():
+    src = """
+    noinline long square(long x) { return x * x; }
+    long f(long a) { return square(a); }
+    """
+    unit = optimize_unit(parse(src), 2)
+    ret = first_return(unit)
+    assert isinstance(ret.expr, A.Call)
+
+
+def test_multi_statement_functions_not_inlined():
+    src = """
+    long g(long x) { long t = x + 1; return t * 2; }
+    long f(long a) { return g(a); }
+    """
+    unit = optimize_unit(parse(src), 2)
+    assert isinstance(first_return(unit).expr, A.Call)
+
+
+def test_recursive_single_return_not_inlined():
+    src = """
+    long r(long x) { return r(x - 1); }
+    long f(long a) { return r(a); }
+    """
+    unit = optimize_unit(parse(src), 2)
+    assert isinstance(first_return(unit).expr, A.Call)
+
+
+def test_loop_normalization_only_for_nonliteral_start():
+    src = """
+    long g();
+    long f(long n) {
+        long a = 0;
+        for (long i = 0; i < n; i++) a += i;      // literal start: untouched
+        for (long j = g(); j < n; j++) a += j;    // call start: normalized
+        return a;
+    }
+    """
+    unit = optimize_unit(parse(src), 2)
+
+    fors = []
+
+    def walk(s):
+        if isinstance(s, A.Block):
+            for x in s.stmts:
+                walk(x)
+        elif isinstance(s, A.For):
+            fors.append(s)
+            walk(s.body)
+
+    walk(unit.function("f").body)
+    # first loop keeps its init; the normalized one has none
+    with_init = [f for f in fors if f.init is not None]
+    without_init = [f for f in fors if f.init is None]
+    assert len(with_init) == 1 and len(without_init) == 1
+
+
+def test_inlining_execution_equivalence():
+    src = """
+    double scale(double v, double k) { return v * k + 0.5; }
+    double f(double a) { return scale(a, 3.0); }
+    """
+    m0, m2 = Machine(), Machine()
+    m0.load(src, opt=0)
+    m2.load(src, opt=2)
+    for a in (0.0, 1.25, -2.5):
+        assert m0.call("f", a).float_return == m2.call("f", a).float_return
+    # -O2 actually inlined: fewer runtime calls
+    assert m2.call("f", 1.0).perf.calls < m0.call("f", 1.0).perf.calls
+
+
+def test_normalization_execution_equivalence():
+    src = """
+    noinline long start() { return 3; }
+    long f(long n) {
+        long total = 0;
+        for (long i = start(); i < n; i++) total += i;
+        return total;
+    }
+    """
+    m0, m2 = Machine(), Machine()
+    m0.load(src, opt=0)
+    m2.load(src, opt=2)
+    for n in (0, 3, 4, 10):
+        assert m0.call("f", n).int_return == m2.call("f", n).int_return

@@ -1,0 +1,116 @@
+"""Register-promotion analysis tests."""
+
+from __future__ import annotations
+
+from repro.cc.frontend import compile_source
+from repro.cc.promote import FLOAT_PROMOTE_POOL, INT_PROMOTE_POOL, plan_promotion
+from repro.isa.registers import GPR, XMM
+from repro.machine.vm import Machine
+
+
+def plan_for(source: str, fn: str = "f"):
+    unit = compile_source(source, opt=1)
+    return plan_promotion(unit.function(fn)), unit.function(fn)
+
+
+def test_scalar_params_promoted():
+    plan, _ = plan_for("long f(long a, long b) { return a + b; }")
+    assert plan.reg_of(("param", "a")) in INT_PROMOTE_POOL
+    assert plan.reg_of(("param", "b")) in INT_PROMOTE_POOL
+
+
+def test_address_taken_disqualifies():
+    plan, fn = plan_for("long f(long a) { long *p = &a; return *p; }")
+    assert plan.reg_of(("param", "a")) is None
+
+
+def test_float_promotion_only_without_calls():
+    src_nocall = "double f(double a) { double t = a * 2.0; return t; }"
+    plan, _ = plan_for(src_nocall)
+    assert isinstance(plan.reg_of(("param", "a")), XMM)
+
+    src_call = """
+    noinline double g(double x) { return x; }
+    double f(double a) { double t = g(a); return t + a; }
+    """
+    plan, _ = plan_for(src_call)
+    assert plan.has_calls
+    assert plan.reg_of(("param", "a")) is None  # no callee-saved XMM
+
+
+def test_int_promotion_survives_calls():
+    src = """
+    noinline long g(long x) { return x; }
+    long f(long a) { return g(a) + a; }
+    """
+    plan, _ = plan_for(src)
+    assert plan.reg_of(("param", "a")) in INT_PROMOTE_POOL
+
+
+def test_loop_weighting_prioritizes_hot_variables():
+    src = """
+    long f(long cold1, long cold2, long cold3, long cold4, long cold5, long hot) {
+        long total = 0;
+        for (long i = 0; i < hot; i++)
+            total += i;
+        return total + cold1 + cold2 + cold3 + cold4 + cold5;
+    }
+    """
+    plan, _ = plan_for(src)
+    # pool has 5 slots; the loop-heavy total/i/hot must all be in
+    assert plan.reg_of(("param", "hot")) is not None
+
+
+def test_aggregates_never_promoted():
+    src = """
+    struct S { long x; };
+    long f(struct S *s) {
+        struct S local;
+        local.x = s->x;
+        return local.x;
+    }
+    """
+    unit = compile_source(src, opt=1)
+    plan = plan_promotion(unit.function("f"))
+    # the pointer param is promotable, the struct local is not
+    assert plan.reg_of(("param", "s")) is not None
+    local_keys = [k for k in plan.regs if not (isinstance(k, tuple) and k[0] == "param")]
+    # any promoted id-keyed decls must be scalars; local (struct) is absent
+    assert len(plan.regs) <= len(INT_PROMOTE_POOL) + len(FLOAT_PROMOTE_POOL)
+
+
+def test_saved_registers_listed_in_pool_order():
+    plan, _ = plan_for("long f(long a, long b, long c) { return a + b + c; }")
+    assert plan.saved_gprs == [r for r in INT_PROMOTE_POOL if r in plan.regs.values()]
+
+
+def test_promotion_preserves_semantics_under_pressure():
+    # more scalars than pool slots: spills must coexist with promotion
+    src = """
+    long f(long a, long b, long c, long d, long e, long g) {
+        long h = a + b;
+        long i = c + d;
+        long j = e + g;
+        long k = h * i;
+        return k - j + h;
+    }
+    """
+    m0, m1 = Machine(), Machine()
+    m0.load(src, opt=0)
+    m1.load(src, opt=1)
+    args = (3, 5, 7, 11, 13, 17)
+    assert m0.call("f", *args).int_return == m1.call("f", *args).int_return
+
+
+def test_promoted_callee_saved_regs_survive_calls_at_runtime():
+    src = """
+    noinline long clobber(long x) { return x * 2; }
+    long f(long a) {
+        long keep = a + 100;
+        long r = clobber(a);
+        return keep + r;
+    }
+    """
+    m = Machine()
+    m.load(src, opt=2)
+    assert m.call("f", 5).int_return == 105 + 10

@@ -1,0 +1,104 @@
+"""minic semantic analysis: typing rules and rejection of invalid code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc import ast_nodes as A
+from repro.cc.frontend import compile_source
+from repro.cc.types import DOUBLE, LONG, PointerType
+
+
+def types_of_return(source: str, fn: str = "f"):
+    unit = compile_source(source, opt=0)
+    ret = [s for s in unit.function(fn).body.stmts if isinstance(s, A.Return)][0]
+    return ret.expr.ty
+
+
+def test_int_plus_int_is_long():
+    assert types_of_return("long f(long a) { return a + 1; }").is_integer
+
+
+def test_mixed_arith_promotes_to_double():
+    src = "double f(long a, double b) { return a + b; }"
+    assert types_of_return(src).is_float
+
+
+def test_comparison_yields_long():
+    assert types_of_return("long f(double a) { return a < 1.0; }").is_integer
+
+
+def test_pointer_plus_int_keeps_pointer():
+    t = types_of_return("double* f(double *p) { return p + 3; }")
+    assert isinstance(t, PointerType)
+
+
+def test_pointer_difference_is_long():
+    src = "long f(double *a, double *b) { return a - b; }"
+    assert types_of_return(src).is_integer
+
+
+def test_implicit_conversion_inserts_cast():
+    unit = compile_source("double f(long a) { return a; }", opt=0)
+    ret = unit.function("f").body.stmts[0]
+    assert isinstance(ret.expr, A.Cast)
+
+
+@pytest.mark.parametrize("bad,fragment", [
+    ("long f() { return x; }", "undeclared"),
+    ("long f(long a) { double d = a; return d[0]; }", "cannot index"),
+    ("long f() { 5 = 3; return 0; }", "not assignable"),
+    ("long f(long a, long b) { return a % 2.0; }", "needs integers"),
+    ("struct S { long x; }; long f(struct S s) { return s + 1; }", "bad operands"),
+    ("long f(long a) { return a(3); }", "not a function"),
+    ("long f() { return g(1); } long g(long a, long b) { return a; }", "expects 2"),
+    ("void f() { return 5; }", "void function"),
+    ("long f() { return; }", "missing return value"),
+    ("long f() { break; return 0; }", "outside a loop"),
+    ("struct S { long x; }; long f(struct S *s) { return s->y; }", "no field"),
+    ("long f(double d) { return ~d; }", "needs an integer"),
+    ("long f() { long a = 1; long a = 2; return a; }", "redefinition"),
+    ("long f(long p) { return *p; }", "cannot dereference"),
+])
+def test_semantic_errors(bad, fragment):
+    with pytest.raises(CompileError) as excinfo:
+        compile_source(bad, opt=0)
+    assert fragment in str(excinfo.value)
+
+
+def test_shadowing_in_inner_scope_allowed():
+    src = """
+    long f(long a) {
+        long x = 1;
+        { long x = 2; a += x; }
+        return a + x;
+    }
+    """
+    unit = compile_source(src, opt=0)
+    assert unit.function("f") is not None
+
+
+def test_struct_passed_by_pointer_only():
+    src = "struct S { long x; }; long f(struct S *s) { return s->x; }"
+    assert compile_source(src, opt=0).function("f") is not None
+
+
+def test_void_pointer_deref_rejected():
+    with pytest.raises(CompileError):
+        compile_source("long f(void *p) { return *p; }", opt=0)
+
+
+def test_array_param_decays_to_pointer():
+    unit = compile_source("long f(long a[4]) { return a[0]; }", opt=0)
+    assert isinstance(unit.function("f").func_type.params[0], PointerType)
+
+
+def test_global_initializer_must_be_constant():
+    with pytest.raises(CompileError):
+        compile_source("long g(); long x = g();", opt=0)
+
+
+def test_global_initializer_count_checked():
+    with pytest.raises(CompileError):
+        compile_source("long a[2] = {1, 2, 3};", opt=0)

@@ -1,0 +1,80 @@
+"""Debug-information tests (paper Sec. VIII: debugging rewritten code)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brew_init_conf, brew_rewrite, brew_setpar, BREW_KNOWN
+from repro.machine.vm import Machine
+
+SOURCE = """
+noinline long helper(long x) { return x * 3; }
+noinline long f(long a, long b) {
+    long t = helper(a) + b;
+    return t - 1;
+}
+"""
+
+
+@pytest.fixture()
+def machine() -> Machine:
+    m = Machine()
+    m.load(SOURCE)
+    return m
+
+
+def test_every_emitted_instruction_has_a_map_entry(machine):
+    result = brew_rewrite(machine, brew_init_conf(), "f", 0, 0)
+    assert result.ok and result.debug is not None
+    from repro.isa.encoding import iter_decode
+
+    code = machine.image.peek(result.entry, result.code_size)
+    for insn in iter_decode(code, result.entry):
+        assert insn.addr in result.debug.entries
+
+
+def test_traced_instructions_point_into_original_functions(machine):
+    result = brew_rewrite(machine, brew_init_conf(), "f", 0, 0)
+    assert result.ok
+    f_addr = machine.symbol("f")
+    f_size = machine.image.function_sizes[f_addr]
+    h_addr = machine.symbol("helper")
+    h_size = machine.image.function_sizes[h_addr]
+    origins = [o for o, _ in result.debug.entries.values() if o is not None]
+    assert origins, "no traced provenance at all"
+    for origin in origins:
+        assert (f_addr <= origin < f_addr + f_size) or (
+            h_addr <= origin < h_addr + h_size
+        ), hex(origin)
+    # the inlined helper contributes provenance of its own
+    assert any(h_addr <= o < h_addr + h_size for o in origins)
+
+
+def test_synthetic_code_is_labelled(machine):
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_KNOWN)
+    result = brew_rewrite(machine, conf, "f", 5, 0)
+    assert result.ok
+    roles = {result.debug.role_of(addr) for addr in result.debug.entries}
+    assert "traced" in roles
+    # materializations of known values are marked, not blamed on source
+    synth = [a for a in result.debug.entries
+             if result.debug.entries[a][0] is None]
+    for addr in synth:
+        assert result.debug.role_of(addr) != "traced"
+
+
+def test_explain_rewrite_listing(machine):
+    result = brew_rewrite(machine, brew_init_conf(), "f", 0, 0)
+    listing = machine.explain_rewrite(result)
+    assert "; <- f" in listing or "; <- f+0x" in listing
+    assert "helper" in listing  # inlined code attributed to its source
+
+
+def test_explain_rewrite_rejects_failures(machine):
+    conf = brew_init_conf()
+    conf.max_output_instructions = 1
+    result = brew_rewrite(machine, conf, "f", 0, 0)
+    assert not result.ok
+    with pytest.raises(ValueError):
+        machine.explain_rewrite(result)

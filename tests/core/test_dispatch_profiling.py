@@ -1,0 +1,95 @@
+"""Profile-guided guarded specialization (EXP-8) and profiling hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dispatch import build_guard_stub, specialize_hot_param
+from repro.core import brew_init_conf, brew_rewrite, brew_setpar, BREW_KNOWN
+from repro.machine.vm import Machine
+from repro.profiling import CallCounter, ValueProfiler
+
+SOURCE = """
+noinline long poly(long x, long k) {
+    long acc = 0;
+    for (long i = 0; i < k; i++)
+        acc += x + i;
+    return acc;
+}
+noinline long caller(long x, long k) { return poly(x, k); }
+"""
+
+
+def expected(x: int, k: int) -> int:
+    return sum(x + i for i in range(k))
+
+
+@pytest.fixture()
+def machine() -> Machine:
+    m = Machine()
+    m.load(SOURCE)
+    return m
+
+
+def test_value_profiler_observes_args(machine):
+    profiler = ValueProfiler(machine.cpu, watch={machine.symbol("poly")})
+    with profiler:
+        for x in (3, 3, 3, 9):
+            machine.call("caller", x, 4)
+    profile = profiler.profile(machine.symbol("poly"))
+    assert profile.calls == 4
+    assert profile.values[1][3] == 3
+    assert profile.hot_value(1, min_share=0.7) == 3
+    assert profile.hot_value(1, min_share=0.9) is None
+    assert profile.hot_value(2) == 4
+
+
+def test_call_counter_finds_hotspots(machine):
+    counter = CallCounter(machine.cpu)
+    with counter:
+        for _ in range(5):
+            machine.call("caller", 1, 2)
+    hot = dict(counter.hotspots())
+    assert hot[machine.symbol("poly")] == 5
+
+
+def test_guard_stub_routes_correctly(machine):
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    result = brew_rewrite(machine, conf, "poly", 0, 6)
+    assert result.ok
+    stub = build_guard_stub(machine, "poly", 2, 6, result.entry)
+    # guarded value goes to the specialized variant
+    assert machine.call(stub, 10, 6).int_return == expected(10, 6)
+    # any other value falls back to the original
+    assert machine.call(stub, 10, 3).int_return == expected(10, 3)
+    assert machine.call(stub, -2, 9).int_return == expected(-2, 9)
+
+
+def test_specialize_hot_param_end_to_end(machine):
+    poly = machine.symbol("poly")
+    profiler = ValueProfiler(machine.cpu, watch={poly})
+    with profiler:
+        for _ in range(9):
+            machine.call("caller", 5, 7)
+        machine.call("caller", 5, 2)
+    spec = specialize_hot_param(machine, "poly", profiler.profile(poly), param=2)
+    assert spec is not None
+    assert spec.guard_value == 7
+    # drop-in correctness for both hot and cold values
+    for x, k in [(5, 7), (0, 7), (5, 2), (11, 1)]:
+        assert machine.call(spec.entry, x, k).int_return == expected(x, k)
+    # the hot path really is the specialized body (fewer cycles)
+    hot = machine.call(spec.entry, 5, 7)
+    cold_via_orig = machine.call("poly", 5, 7)
+    assert hot.cycles < cold_via_orig.cycles
+
+
+def test_specialize_hot_param_without_dominant_value(machine):
+    poly = machine.symbol("poly")
+    profiler = ValueProfiler(machine.cpu, watch={poly})
+    with profiler:
+        for k in range(1, 7):
+            machine.call("caller", 1, k)
+    spec = specialize_hot_param(machine, "poly", profiler.profile(poly), param=2)
+    assert spec is None

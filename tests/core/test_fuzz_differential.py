@@ -1,0 +1,327 @@
+"""Differential fuzzing of the rewriter.
+
+A seeded generator produces random (but total and terminating) minic
+functions; each is rewritten under several knownness configurations and
+must agree with the original on argument sweeps.  This is the strongest
+soundness net in the suite: it exercises folding, flag tracking, block
+forks, unrolling, migration, snapshots, and compensation in random
+combinations no hand-written test would find.
+
+Division/modulo denominators are generated as ``(expr | 1)`` so they are
+never zero; shift counts are small literals; loops have literal bounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BREW_KNOWN, brew_init_conf, brew_rewrite, brew_setfunc, brew_setpar,
+)
+from repro.machine.vm import Machine
+
+
+class ProgramGen:
+    """Deterministic random minic function generator."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.vars: list[str] = []
+        self.tmp = 0
+
+    def fresh(self) -> str:
+        self.tmp += 1
+        return f"t{self.tmp}"
+
+    def expr(self, depth: int) -> str:
+        r = self.rng
+        if depth <= 0 or r.random() < 0.3:
+            choices = self.vars + [str(r.randint(-20, 20))]
+            return r.choice(choices)
+        kind = r.random()
+        a = self.expr(depth - 1)
+        b = self.expr(depth - 1)
+        if kind < 0.45:
+            op = r.choice(["+", "-", "*"])
+            return f"({a} {op} {b})"
+        if kind < 0.55:
+            op = r.choice(["/", "%"])
+            return f"({a} {op} (({b}) | 1))"
+        if kind < 0.7:
+            op = r.choice(["&", "|", "^"])
+            return f"({a} {op} {b})"
+        if kind < 0.8:
+            return f"({a} {r.choice(['<<', '>>'])} {r.randint(0, 7)})"
+        if kind < 0.95:
+            op = r.choice(["<", "<=", ">", ">=", "==", "!="])
+            return f"({a} {op} {b})"
+        return f"(-({a}))"
+
+    def stmt(self, depth: int) -> str:
+        r = self.rng
+        kind = r.random()
+        if kind < 0.35 or depth <= 0:
+            target = r.choice(self.vars)
+            return f"{target} = {self.expr(2)};"
+        if kind < 0.55:
+            name = self.fresh()
+            line = f"long {name} = {self.expr(2)};"
+            self.vars.append(name)
+            return line
+        if kind < 0.8:
+            cond = self.expr(1)
+            then = self._scoped(depth - 1)
+            if r.random() < 0.5:
+                return f"if ({cond}) {{ {then} }}"
+            els = self._scoped(depth - 1)
+            return f"if ({cond}) {{ {then} }} else {{ {els} }}"
+        bound = r.randint(1, 5)
+        body = self._scoped(depth - 1)
+        i = self.fresh()
+        return f"for (long {i} = 0; {i} < {bound}; {i}++) {{ {body} }}"
+
+    def _scoped(self, depth: int) -> str:
+        """Generate a nested statement; declarations inside it go out of
+        scope afterwards (mirroring minic's block scoping)."""
+        saved = list(self.vars)
+        out = self.stmt(depth)
+        self.vars = saved
+        return out
+
+    def function(self, arity: int = 2, statements: int = 5) -> str:
+        params = [f"p{k}" for k in range(arity)]
+        self.vars = list(params)
+        body = [f"long acc = {params[0]};"]
+        self.vars.append("acc")
+        for _ in range(statements):
+            body.append(self.stmt(2))
+        body.append(f"return acc + {self.expr(2)};")
+        param_list = ", ".join(f"long {p}" for p in params)
+        return f"noinline long fuzzed({param_list}) {{\n" + "\n".join(body) + "\n}"
+
+
+ARG_SWEEP = [(0, 0), (1, -1), (7, 3), (-12, 5), (100, -100), (2**33, 9)]
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_fuzzed_function_rewrites_faithfully(seed):
+    source = ProgramGen(seed).function()
+    machine = Machine()
+    machine.load(source)
+
+    rng = random.Random(1000 + seed)
+    configs = [
+        [],                 # nothing known
+        [1], [2], [1, 2],   # every knownness subset
+    ]
+    for known in configs:
+        conf = brew_init_conf()
+        example = ARG_SWEEP[rng.randrange(len(ARG_SWEEP))]
+        for index in known:
+            brew_setpar(conf, index, BREW_KNOWN)
+        if rng.random() < 0.3:
+            brew_setfunc(conf, None, force_unknown_results=True)
+        if rng.random() < 0.3:
+            brew_setfunc(conf, None, conditionals_unknown=True)
+        if rng.random() < 0.3:
+            conf.variant_threshold = rng.choice([2, 4, 8])
+        if rng.random() < 0.3:
+            conf.deferred_spills = False
+        if rng.random() < 0.25:
+            conf.passes = ("regrename", "dce", "redundant-load", "peephole")
+        result = brew_rewrite(machine, conf, "fuzzed", *example)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for args in ARG_SWEEP:
+            effective = tuple(
+                example[i] if (i + 1) in known else args[i] for i in range(2)
+            )
+            want = machine.call("fuzzed", *effective).int_return
+            got = machine.call(result.entry, *effective).int_return
+            assert got == want, (seed, known, effective, source)
+
+
+@pytest.mark.parametrize("seed", range(30, 40))
+def test_fuzzed_compiler_opt_levels_agree(seed):
+    """The compiler side of the differential net: -O0/-O1/-O2 agree."""
+    source = ProgramGen(seed).function(arity=2, statements=4)
+    machines = []
+    for opt in (0, 1, 2):
+        m = Machine()
+        m.load(source, opt=opt)
+        machines.append(m)
+    for args in ARG_SWEEP:
+        values = [m.call("fuzzed", *args).int_return for m in machines]
+        assert values[0] == values[1] == values[2], (seed, args, source)
+
+
+class FloatProgramGen(ProgramGen):
+    """Random double-typed functions (no division by dynamic values to
+    keep results comparable bit-for-bit; multiplication, addition,
+    subtraction, literals and comparisons only)."""
+
+    def expr(self, depth: int) -> str:  # type: ignore[override]
+        r = self.rng
+        if depth <= 0 or r.random() < 0.3:
+            lits = [f"{r.randint(-8, 8)}.{r.randint(0, 99):02d}"]
+            return r.choice(self.vars + lits)
+        op = r.choice(["+", "-", "*", "+", "-"])
+        return f"({self.expr(depth - 1)} {op} {self.expr(depth - 1)})"
+
+    def stmt(self, depth: int) -> str:  # type: ignore[override]
+        r = self.rng
+        kind = r.random()
+        if kind < 0.4 or depth <= 0:
+            return f"{r.choice(self.vars)} = {self.expr(2)};"
+        if kind < 0.6:
+            name = self.fresh()
+            line = f"double {name} = {self.expr(2)};"
+            self.vars.append(name)
+            return line
+        if kind < 0.85:
+            cond = f"({self.expr(1)} < {self.expr(1)})"
+            return f"if ({cond}) {{ {self._scoped(depth - 1)} }}"
+        i = self.fresh()
+        return (f"for (long {i} = 0; {i} < {r.randint(1, 4)}; {i}++) "
+                f"{{ {self._scoped(depth - 1)} }}")
+
+    def function(self, arity: int = 2, statements: int = 4) -> str:  # type: ignore[override]
+        params = [f"p{k}" for k in range(arity)]
+        self.vars = list(params)
+        body = [f"double acc = {params[0]};"]
+        self.vars.append("acc")
+        for _ in range(statements):
+            body.append(self.stmt(2))
+        body.append(f"return acc + {self.expr(2)};")
+        param_list = ", ".join(f"double {p}" for p in params)
+        return f"noinline double fuzzed({param_list}) {{\n" + "\n".join(body) + "\n}"
+
+
+FLOAT_SWEEP = [(0.0, 0.0), (1.5, -2.25), (3.0, 0.125), (-7.5, 7.5)]
+
+
+@pytest.mark.parametrize("seed", range(40, 55))
+def test_fuzzed_float_functions(seed):
+    source = FloatProgramGen(seed).function()
+    machine = Machine()
+    machine.load(source)
+    rng = random.Random(2000 + seed)
+    for known in ([], [1], [2], [1, 2]):
+        conf = brew_init_conf()
+        example = FLOAT_SWEEP[rng.randrange(len(FLOAT_SWEEP))]
+        for index in known:
+            brew_setpar(conf, index, BREW_KNOWN)
+        if rng.random() < 0.3:
+            conf.deferred_spills = False
+        if rng.random() < 0.3:
+            conf.passes = ("regrename", "dce", "redundant-load", "peephole")
+        result = brew_rewrite(machine, conf, "fuzzed", *example)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for args in FLOAT_SWEEP:
+            effective = tuple(
+                example[i] if (i + 1) in known else args[i] for i in range(2)
+            )
+            want = machine.call("fuzzed", *effective).float_return
+            got = machine.call(result.entry, *effective).float_return
+            # identical operation order -> bit-identical results
+            assert got == want, (seed, known, effective, source)
+
+
+@pytest.mark.parametrize("seed", range(55, 65))
+def test_fuzzed_call_graphs_inline_faithfully(seed):
+    """Two random helpers + a random caller: exercises inlining, shadow
+    stack depth, and per-function config restoration."""
+    rng = random.Random(seed)
+    g1 = ProgramGen(seed * 3 + 1)
+    helper1 = g1.function(arity=2, statements=2).replace("fuzzed", "h1")
+    g2 = ProgramGen(seed * 3 + 2)
+    helper2 = g2.function(arity=1, statements=2).replace("fuzzed", "h2")
+    caller = f"""
+    noinline long fuzzed(long a, long b) {{
+        long x = h1(a + 1, b);
+        long y = h2(x ^ b);
+        if (y > x) return h1(y, a) - x;
+        return x + y;
+    }}
+    """
+    machine = Machine()
+    machine.load(helper1 + "\n" + helper2 + "\n" + caller)
+    for known in ([], [1], [2]):
+        conf = brew_init_conf()
+        for index in known:
+            brew_setpar(conf, index, BREW_KNOWN)
+        if rng.random() < 0.5:
+            # keep one helper out-of-line: tests ABI compensation
+            conf.set_function(machine.symbol("h1"), inline=False)
+        result = brew_rewrite(machine, conf, "fuzzed", 5, 9)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for args in ARG_SWEEP:
+            effective = tuple(
+                (5, 9)[i] if (i + 1) in known else args[i] for i in range(2)
+            )
+            want = machine.call("fuzzed", *effective).int_return
+            got = machine.call(result.entry, *effective).int_return
+            assert got == want, (seed, known, effective)
+
+
+class PointerProgramGen(ProgramGen):
+    """Adds address-of-local and pointer-indirection statements, which
+    stress the frame-escape analysis and unknown-address store paths."""
+
+    def __init__(self, seed: int) -> None:
+        super().__init__(seed)
+        self.pointers: list[str] = []
+
+    def stmt(self, depth: int) -> str:  # type: ignore[override]
+        r = self.rng
+        roll = r.random()
+        if roll < 0.15 and self.vars:
+            target = r.choice(self.vars)
+            name = self.fresh()
+            self.pointers.append(name)
+            return f"long *{name} = &{target};"
+        if roll < 0.3 and self.pointers:
+            p = r.choice(self.pointers)
+            return f"*{p} = {self.expr(2)};"
+        if roll < 0.4 and self.pointers:
+            p = r.choice(self.pointers)
+            target = r.choice(self.vars)
+            return f"{target} = *{p} + {self.expr(1)};"
+        return super().stmt(depth)
+
+    def _scoped(self, depth: int) -> str:  # type: ignore[override]
+        saved_vars = list(self.vars)
+        saved_ptrs = list(self.pointers)
+        out = self.stmt(depth)
+        self.vars = saved_vars
+        self.pointers = saved_ptrs
+        return out
+
+
+@pytest.mark.parametrize("seed", range(65, 85))
+def test_fuzzed_pointer_programs(seed):
+    source = PointerProgramGen(seed).function(arity=2, statements=6)
+    machine = Machine()
+    machine.load(source)
+    rng = random.Random(3000 + seed)
+    for known in ([], [1], [2], [1, 2]):
+        conf = brew_init_conf()
+        example = ARG_SWEEP[rng.randrange(len(ARG_SWEEP))]
+        for index in known:
+            brew_setpar(conf, index, BREW_KNOWN)
+        if rng.random() < 0.3:
+            brew_setfunc(conf, None, force_unknown_results=True)
+        if rng.random() < 0.3:
+            conf.deferred_spills = False
+        if rng.random() < 0.25:
+            conf.passes = ("regrename", "dce", "redundant-load", "peephole")
+        result = brew_rewrite(machine, conf, "fuzzed", *example)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for args in ARG_SWEEP:
+            effective = tuple(
+                example[i] if (i + 1) in known else args[i] for i in range(2)
+            )
+            want = machine.call("fuzzed", *effective).int_return
+            got = machine.call(result.entry, *effective).int_return
+            assert got == want, (seed, known, effective, source)

@@ -1,0 +1,114 @@
+"""Section V.C: the ``makeDynamic`` story.
+
+Three facts to reproduce:
+
+1. with the compiler at -O1 (no loop normalization), marking the loop
+   start dynamic *works*: the loop is not unrolled;
+2. with the compiler at -O2, loop normalization re-introduces a fresh
+   induction variable counting from 0 — "there still was a constant
+   known value which changed in each iteration, resulting in complete
+   unrolling again";
+3. the brute-force ``force_unknown_results`` configuration avoids
+   unrolling regardless of what the compiler did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brew_init_conf, brew_rewrite, brew_setfunc, brew_setpar, BREW_KNOWN
+from repro.machine.vm import Machine
+
+SOURCE = """
+noinline long makeDynamic(long x) { return x; }
+
+noinline long count(long n) {
+    long total = 0;
+    for (long i = makeDynamic(0); i < n; i++)
+        total += i * 2;
+    return total;
+}
+"""
+
+
+def build(opt: int) -> Machine:
+    m = Machine()
+    m.load(SOURCE, opt=opt)
+    return m
+
+
+def rewrite_count(m: Machine, n: int, force_unknown: bool = False, threshold: int = 64):
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_KNOWN)
+    conf.dynamic_markers.add(m.symbol("makeDynamic"))
+    conf.variant_threshold = threshold
+    if force_unknown:
+        brew_setfunc(conf, None, force_unknown_results=True)
+    return conf, brew_rewrite(m, conf, "count", n)
+
+
+def expected(n: int) -> int:
+    return sum(i * 2 for i in range(n))
+
+
+def test_o1_makedynamic_prevents_unrolling():
+    m = build(opt=1)
+    conf, result = rewrite_count(m, 10)
+    assert result.ok, result.message
+    # n was declared known, so the bound is baked in: the replacement
+    # computes expected(10) regardless of the argument (drop-in contract
+    # only holds for the declared-known values, Sec. III.E)
+    assert m.call(result.entry, 10).int_return == expected(10)
+    assert m.call(result.entry, 3).int_return == expected(10)
+    # and the loop is still a loop: few blocks, compact code
+    assert result.stats.blocks <= 12, result.stats
+
+
+def test_o2_normalization_defeats_makedynamic():
+    m = build(opt=2)
+    conf, result = rewrite_count(m, 10)
+    assert result.ok, result.message
+    assert m.call(result.entry, 10).int_return == expected(10)
+    # the fresh induction variable unrolled the loop: many more blocks
+    # (one variant per iteration until the threshold migrates)
+    assert result.stats.blocks > 50, result.stats
+
+
+def test_force_unknown_results_avoids_unrolling_even_at_o2():
+    m = build(opt=2)
+    conf, result = rewrite_count(m, 10, force_unknown=True)
+    assert result.ok, result.message
+    assert m.call(result.entry, 10).int_return == expected(10)
+    assert result.stats.blocks <= 16, result.stats
+
+
+def test_unknown_arg_to_makedynamic_passes_through():
+    m = build(opt=1)
+    conf = brew_init_conf()
+    conf.dynamic_markers.add(m.symbol("makeDynamic"))
+    result = brew_rewrite(m, conf, "makeDynamic", 0)
+    assert result.ok, result.message
+    assert m.call(result.entry, 42).int_return == 42
+
+
+def test_marker_emits_no_call():
+    from repro.isa.encoding import iter_decode
+    from repro.isa.opcodes import Op
+
+    m = build(opt=1)
+    conf, result = rewrite_count(m, 5)
+    assert result.ok
+    code = m.image.peek(result.entry, result.code_size)
+    ops = [i.op for i in iter_decode(code, result.entry)]
+    assert Op.CALL not in ops and Op.CALLI not in ops
+
+
+def test_variant_threshold_bounds_o2_explosion():
+    m = build(opt=2)
+    conf, tight = rewrite_count(m, 1000, threshold=4)
+    assert tight.ok, tight.message
+    assert m.call(tight.entry, 1000).int_return == expected(1000)
+    m2 = build(opt=2)
+    conf, loose = rewrite_count(m2, 1000, threshold=32)
+    assert loose.ok, loose.message
+    assert tight.code_size < loose.code_size

@@ -1,0 +1,116 @@
+"""SpecializationManager and multi-guard dispatch tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brew_init_conf, brew_setpar, BREW_KNOWN, BREW_PTR_TO_KNOWN
+from repro.core.dispatch import build_multi_guard_stub
+from repro.core.manager import SpecializationManager
+from repro.machine.vm import Machine
+
+SOURCE = """
+struct Cfg { long scale; long bias; };
+noinline long apply_cfg(long x, struct Cfg *c) { return x * c->scale + c->bias; }
+noinline long poly(long x, long k) { return x * k + k; }
+"""
+
+
+@pytest.fixture()
+def setup():
+    m = Machine()
+    m.load(SOURCE)
+    return m, SpecializationManager(m)
+
+
+def test_cache_hit_on_repeat(setup):
+    m, mgr = setup
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    r1 = mgr.get(conf, "poly", 0, 3)
+    r2 = mgr.get(conf, "poly", 0, 3)
+    assert r1.ok and r1.entry == r2.entry
+    assert mgr.hits == 1 and mgr.misses == 1 and len(mgr) == 1
+
+
+def test_different_args_are_different_variants(setup):
+    m, mgr = setup
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    r3 = mgr.get(conf, "poly", 0, 3)
+    r4 = mgr.get(conf, "poly", 0, 4)
+    assert r3.entry != r4.entry
+    assert m.call(r3.entry, 5, 3).int_return == 5 * 3 + 3
+    assert m.call(r4.entry, 5, 4).int_return == 5 * 4 + 4
+
+
+def test_known_memory_mutation_invalidates(setup):
+    m, mgr = setup
+    cfg = m.image.malloc(16)
+    m.memory.write_u64(cfg, 2)       # scale
+    m.memory.write_u64(cfg + 8, 10)  # bias
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    r1 = mgr.get(conf, "apply_cfg", 0, cfg)
+    assert r1.ok
+    assert m.call(r1.entry, 5, cfg).int_return == 20
+    # same descriptor content: cache hit
+    assert mgr.get(conf, "apply_cfg", 0, cfg).entry == r1.entry
+    # mutate the descriptor: stale entry is dropped, new variant built
+    m.memory.write_u64(cfg, 7)
+    r2 = mgr.get(conf, "apply_cfg", 0, cfg)
+    assert r2.entry != r1.entry
+    assert m.call(r2.entry, 5, cfg).int_return == 45
+
+
+def test_invalidate_memory_by_range(setup):
+    m, mgr = setup
+    cfg = m.image.malloc(16)
+    m.memory.write_u64(cfg, 3)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    mgr.get(conf, "apply_cfg", 0, cfg)
+    assert len(mgr) == 1
+    assert mgr.invalidate_memory(cfg, cfg + 8) == 1
+    assert len(mgr) == 0
+    # non-overlapping invalidation is a no-op (the PTR_TO_KNOWN extent
+    # spans 64 KiB, so go well beyond it)
+    mgr.get(conf, "apply_cfg", 0, cfg)
+    far = cfg + 1_000_000
+    assert mgr.invalidate_memory(far, far + 8) == 0
+
+
+def test_invalidate_function(setup):
+    m, mgr = setup
+    c1, c2 = brew_init_conf(), brew_init_conf()
+    brew_setpar(c1, 2, BREW_KNOWN)
+    brew_setpar(c2, 1, BREW_KNOWN)
+    mgr.get(c1, "poly", 0, 3)
+    mgr.get(c2, "poly", 9, 0)
+    assert len(mgr) == 2
+    assert mgr.invalidate_function("poly") == 2
+
+
+def test_failures_are_cached(setup):
+    m, mgr = setup
+    conf = brew_init_conf()
+    conf.max_output_instructions = 1
+    r1 = mgr.get(conf, "poly", 0, 0)
+    r2 = mgr.get(conf, "poly", 0, 0)
+    assert not r1.ok and r1 is r2
+    assert mgr.misses == 1 and mgr.hits == 1
+
+
+def test_multi_guard_chain(setup):
+    m, mgr = setup
+    cases = []
+    for k in (3, 4, 7):
+        conf = brew_init_conf()
+        brew_setpar(conf, 2, BREW_KNOWN)
+        result = mgr.get(conf, "poly", 0, k)
+        assert result.ok
+        cases.append((k, result.entry))
+    stub = build_multi_guard_stub(m, "poly", 2, cases)
+    for x in (0, 5, -2):
+        for k in (3, 4, 7, 11):  # 11 falls through to the original
+            assert m.call(stub, x, k).int_return == x * k + k, (x, k)

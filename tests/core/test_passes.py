@@ -1,0 +1,342 @@
+"""Post-capture optimization pass tests.
+
+Each pass is tested in isolation on hand-built instruction lists, then
+the pipeline is tested end-to-end through ``brew_rewrite`` with the
+universal acceptance criterion: passes never change results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brew_init_conf, brew_rewrite, brew_setfunc, brew_setpar, BREW_KNOWN
+from repro.core.passes.dce import dead_code_elimination
+from repro.core.passes.redundant_load import remove_redundant_loads
+from repro.core.passes.peephole import peephole_blocks
+from repro.core.passes.reorder import reorder_loads
+from repro.core.passes.vectorize import vectorize_blocks
+from repro.isa.instruction import ins
+from repro.isa.opcodes import Op
+from repro.isa.operands import FReg, Imm, Mem, Reg
+from repro.isa.registers import GPR, XMM
+from repro.machine.image import Image
+from repro.machine.vm import Machine
+
+
+@pytest.fixture()
+def image() -> Image:
+    return Image()
+
+
+R = lambda r: Reg(r)
+F = lambda x: FReg(x)
+
+
+# -------------------------------------------------------------------- DCE
+def test_dce_removes_overwritten_value(image):
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), Imm(1)),   # dead: overwritten below
+        ins(Op.MOV, R(GPR.RAX), Imm(2)),
+        ins(Op.RET),
+    ]
+    out = dead_code_elimination(insns, image)
+    assert [str(i) for i in out] == ["mov rax, 2", "ret"]
+
+
+def test_dce_keeps_value_read_before_overwrite(image):
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), Imm(1)),
+        ins(Op.ADD, R(GPR.RCX), R(GPR.RAX)),
+        ins(Op.MOV, R(GPR.RAX), Imm(2)),
+        ins(Op.RET),
+    ]
+    assert len(dead_code_elimination(insns, image)) == 4
+
+
+def test_dce_keeps_flag_writers_before_jcc(image):
+    insns = [
+        ins(Op.CMP, R(GPR.RAX), Imm(0)),
+        ins(Op.JE, Imm(0x1000)),
+    ]
+    assert len(dead_code_elimination(insns, image)) == 2
+
+
+def test_dce_respects_block_end_liveness(image):
+    # rax set and never overwritten: live at block end, must stay
+    insns = [ins(Op.MOV, R(GPR.RAX), Imm(7))]
+    assert len(dead_code_elimination(insns, image)) == 1
+
+
+def test_dce_never_touches_stores(image):
+    insns = [
+        ins(Op.MOV, Mem(GPR.RSP, disp=-8), Imm(1)),
+        ins(Op.MOV, Mem(GPR.RSP, disp=-8), Imm(2)),
+    ]
+    assert len(dead_code_elimination(insns, image)) == 2
+
+
+# --------------------------------------------------------- redundant loads
+def test_redundant_load_becomes_move(image):
+    mem = Mem(GPR.RDI, disp=8)
+    insns = [
+        ins(Op.MOVSD, F(XMM.XMM8), mem),
+        ins(Op.ADDSD, F(XMM.XMM9), F(XMM.XMM8)),
+        ins(Op.MOVSD, F(XMM.XMM10), mem),
+    ]
+    out = remove_redundant_loads(insns, image)
+    assert str(out[2]) == "movsd xmm10, xmm8"
+
+
+def test_exact_redundant_load_is_dropped(image):
+    mem = Mem(GPR.RDI, disp=8)
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), mem),
+        ins(Op.ADD, R(GPR.RCX), Imm(1)),
+        ins(Op.MOV, R(GPR.RAX), mem),
+    ]
+    out = remove_redundant_loads(insns, image)
+    assert len(out) == 2
+
+
+def test_store_invalidates_availability(image):
+    mem = Mem(GPR.RDI, disp=8)
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), mem),
+        ins(Op.MOV, Mem(GPR.RSI, disp=0), R(GPR.RCX)),  # may alias
+        ins(Op.MOV, R(GPR.RDX), mem),
+    ]
+    out = remove_redundant_loads(insns, image)
+    assert str(out[2]) == f"mov rdx, {mem}"
+
+
+def test_overwriting_address_register_invalidates(image):
+    mem = Mem(GPR.RDI, disp=8)
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), mem),
+        ins(Op.ADD, R(GPR.RDI), Imm(8)),
+        ins(Op.MOV, R(GPR.RDX), mem),
+    ]
+    out = remove_redundant_loads(insns, image)
+    assert len(out) == 3 and str(out[2]).startswith("mov rdx, [rdi")
+
+
+def test_overwriting_holder_invalidates(image):
+    mem = Mem(GPR.RDI, disp=8)
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), mem),
+        ins(Op.MOV, R(GPR.RAX), Imm(0)),
+        ins(Op.MOV, R(GPR.RDX), mem),
+    ]
+    out = remove_redundant_loads(insns, image)
+    assert str(out[2]) == f"mov rdx, {mem}"
+
+
+# ----------------------------------------------------------------- peephole
+def test_peephole_drops_self_moves(image):
+    insns = [
+        ins(Op.MOV, R(GPR.RAX), R(GPR.RAX)),
+        ins(Op.MOVSD, F(XMM.XMM8), F(XMM.XMM8)),
+        ins(Op.ADD, R(GPR.RAX), Imm(0)),
+        ins(Op.RET),
+    ]
+    out = peephole_blocks(insns, image)
+    assert [i.op for i in out] == [Op.RET]
+
+
+def test_peephole_strength_reduces_imul(image):
+    insns = [ins(Op.IMUL, R(GPR.RAX), Imm(8))]
+    out = peephole_blocks(insns, image)
+    assert str(out[0]) == "shl rax, 3"
+
+
+# ------------------------------------------------------------------ reorder
+def test_reorder_hoists_independent_load(image):
+    insns = [
+        ins(Op.MOVSD, F(XMM.XMM8), Mem(GPR.RDI, disp=0)),
+        ins(Op.MULSD, F(XMM.XMM8), F(XMM.XMM9)),
+        ins(Op.MOVSD, F(XMM.XMM10), Mem(GPR.RDI, disp=8)),
+    ]
+    out = reorder_loads(insns, image)
+    # the second load is independent of the mulsd and bubbles above it
+    assert out[1].op is Op.MOVSD and str(out[1].operands[0]) == "xmm10"
+
+
+def test_reorder_respects_dependencies(image):
+    insns = [
+        ins(Op.MOVSD, F(XMM.XMM8), Mem(GPR.RDI, disp=0)),
+        ins(Op.MOVSD, F(XMM.XMM9), F(XMM.XMM8)),
+    ]
+    out = reorder_loads(insns, image)
+    assert [str(i.operands[0]) for i in out] == ["xmm8", "xmm9"]
+
+
+def test_reorder_never_crosses_stores_with_loads(image):
+    insns = [
+        ins(Op.MOVSD, Mem(GPR.RSI, disp=0), F(XMM.XMM8)),
+        ins(Op.MOVSD, F(XMM.XMM9), Mem(GPR.RDI, disp=0)),
+    ]
+    out = reorder_loads(insns, image)
+    assert isinstance(out[0].operands[0], Mem)  # store stays first
+
+
+# ---------------------------------------------------------------- vectorize
+def _axpy_chain(image, lit_addr):
+    return [
+        # y[0] = a*x[0] + y[0]
+        ins(Op.MOVSD, F(XMM.XMM8), Mem(GPR.RDI, disp=0)),
+        ins(Op.MULSD, F(XMM.XMM8), Mem(disp=lit_addr)),
+        ins(Op.ADDSD, F(XMM.XMM8), Mem(GPR.RSI, disp=0)),
+        ins(Op.MOVSD, Mem(GPR.RSI, disp=0), F(XMM.XMM8)),
+        # y[1] = a*x[1] + y[1]  (scratch registers reused, as the
+        # rewriter's unrolled output does)
+        ins(Op.MOVSD, F(XMM.XMM8), Mem(GPR.RDI, disp=8)),
+        ins(Op.MULSD, F(XMM.XMM8), Mem(disp=lit_addr)),
+        ins(Op.ADDSD, F(XMM.XMM8), Mem(GPR.RSI, disp=8)),
+        ins(Op.MOVSD, Mem(GPR.RSI, disp=8), F(XMM.XMM8)),
+    ]
+
+
+def test_vectorize_pairs_adjacent_chains(image):
+    lit = image.float_literal(2.5)
+    # a RET terminator marks the fused registers dead (ABI), which the
+    # pass requires before fusing
+    out = vectorize_blocks(_axpy_chain(image, lit) + [ins(Op.RET)], image)
+    ops = [i.op for i in out]
+    assert ops == [Op.MOVUPD, Op.MULPD, Op.ADDPD, Op.MOVUPD, Op.RET]
+    # broadcast literal is a 16-byte packed cell
+    plit = out[1].operands[1]
+    raw = image.peek(plit.disp, 16)
+    import struct
+
+    assert struct.unpack("<2d", raw) == (2.5, 2.5)
+
+
+def test_vectorize_rejects_live_registers_after(image):
+    # without a RET (or redefinition), the lanes may be observed: no fuse
+    lit = image.float_literal(2.5)
+    out = vectorize_blocks(_axpy_chain(image, lit), image)
+    assert all(i.op is not Op.MOVUPD for i in out)
+
+
+def test_vectorize_rejects_non_adjacent_memory(image):
+    lit = image.float_literal(2.5)
+    chain = _axpy_chain(image, lit)
+    # break adjacency: second load at +16 instead of +8
+    chain[4] = ins(Op.MOVSD, F(XMM.XMM8), Mem(GPR.RDI, disp=16))
+    out = vectorize_blocks(chain + [ins(Op.RET)], image)
+    assert all(i.op not in (Op.MOVUPD, Op.ADDPD) for i in out)
+
+
+def test_vectorized_code_executes_correctly(image):
+    from repro.machine.cpu import CPU
+    from repro.isa.encoding import encode_program
+
+    lit = image.float_literal(3.0)
+    insns = _axpy_chain(image, lit) + [ins(Op.RET)]
+    insns = vectorize_blocks(insns, image)
+    code, _ = encode_program(insns, 0)
+    addr = image.add_function("axpy2", b"\x00" * len(code))
+    code, _ = encode_program(insns, addr)
+    image.poke(addr, code)
+    x = image.malloc(16)
+    y = image.malloc(16)
+    import struct
+
+    image.poke(x, struct.pack("<2d", 1.0, 2.0))
+    image.poke(y, struct.pack("<2d", 10.0, 20.0))
+    cpu = CPU(image)
+    cpu.run(addr, x, y)
+    assert struct.unpack("<2d", image.peek(y, 16)) == (13.0, 26.0)
+
+
+# ------------------------------------------------------------ end to end
+SOURCE = """
+noinline double work(double *x, double *y, long n, double a) {
+    double last = 0.0;
+    for (long i = 0; i < n; i++) {
+        y[i] = a * x[i] + y[i];
+        last = y[i];
+    }
+    return last;
+}
+"""
+
+
+@pytest.mark.parametrize("passes", [
+    (), ("dce",), ("redundant-load",), ("peephole",),
+    ("dce", "redundant-load", "peephole"),
+    ("reorder", "vectorize"),
+    ("dce", "redundant-load", "peephole", "reorder", "vectorize"),
+])
+def test_passes_preserve_semantics(passes):
+    import struct as st
+
+    m = Machine()
+    m.load(SOURCE)
+    n = 6
+    x = m.image.malloc(n * 8)
+    y = m.image.malloc(n * 8)
+
+    def fill():
+        for i in range(n):
+            m.memory.write_f64(x + 8 * i, float(i + 1))
+            m.memory.write_f64(y + 8 * i, float(10 * i))
+
+    conf = brew_init_conf()
+    brew_setpar(conf, 3, BREW_KNOWN)  # n known -> full unroll
+    brew_setpar(conf, 4, BREW_KNOWN)  # a known
+    conf.passes = passes
+    result = brew_rewrite(m, conf, "work", x, y, n, 2.0)
+    assert result.ok, result.message
+    fill()
+    expected_y = [2.0 * (i + 1) + 10 * i for i in range(n)]
+    out = m.call(result.entry, x, y, n, 2.0)
+    got = [m.memory.read_f64(y + 8 * i) for i in range(n)]
+    assert got == expected_y
+    assert out.float_return == expected_y[-1]
+
+
+def test_pass_pipeline_reduces_cycles():
+    m = Machine()
+    m.load(SOURCE)
+    n = 8
+    x = m.image.malloc(n * 8)
+    y = m.image.malloc(n * 8)
+
+    def measure(passes):
+        conf = brew_init_conf()
+        brew_setpar(conf, 3, BREW_KNOWN)
+        brew_setpar(conf, 4, BREW_KNOWN)
+        conf.passes = passes
+        result = brew_rewrite(m, conf, "work", x, y, n, 2.0)
+        assert result.ok, result.message
+        return m.call(result.entry, x, y, n, 2.0).cycles
+
+    plain = measure(())
+    optimized = measure(("dce", "redundant-load", "peephole"))
+    vectorized = measure(("dce", "redundant-load", "peephole", "reorder", "vectorize"))
+    assert optimized <= plain
+    assert vectorized <= optimized
+
+
+def test_unknown_pass_name_fails_gracefully():
+    m = Machine()
+    m.load("noinline long f(long a) { return a; }")
+    conf = brew_init_conf()
+    conf.passes = ("no-such-pass",)
+    result = brew_rewrite(m, conf, "f", 0)
+    assert not result.ok and result.reason == "bad-pass"
+
+
+def test_dce_mid_block_branch_makes_everything_live(image):
+    """Regression: after chain merging a block contains forks; a value
+    only read on the taken path must survive DCE."""
+    insns = [
+        ins(Op.MOV, R(GPR.RCX), Imm(7)),      # read only on the taken path
+        ins(Op.CMP, R(GPR.RAX), Imm(0)),
+        ins(Op.JE, Imm(0x5000)),              # taken path reads rcx
+        ins(Op.MOV, R(GPR.RCX), Imm(9)),      # fall-through overwrites it
+        ins(Op.RET),
+    ]
+    out = dead_code_elimination(insns, image)
+    assert len(out) == 5  # nothing removed

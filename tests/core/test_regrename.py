@@ -1,0 +1,126 @@
+"""Register-renaming / copy-propagation pass tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import brew_init_conf, brew_rewrite, brew_setpar, BREW_KNOWN, BREW_PTR_TO_KNOWN
+from repro.core.passes.regrename import rename_registers
+from repro.isa.instruction import ins
+from repro.isa.opcodes import Op
+from repro.isa.operands import FReg, Imm, Mem, Reg
+from repro.isa.registers import GPR, XMM
+from repro.machine.image import Image
+from repro.machine.vm import Machine
+
+
+@pytest.fixture()
+def image() -> Image:
+    return Image()
+
+
+def test_copy_propagates_through_uses(image):
+    insns = [
+        ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI)),
+        ins(Op.ADD, Reg(GPR.RCX), Reg(GPR.RAX)),
+    ]
+    out = rename_registers(insns, image)
+    assert str(out[1]) == "add rcx, rdi"
+
+
+def test_copy_propagates_into_address_components(image):
+    insns = [
+        ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI)),
+        ins(Op.MOVSD, FReg(XMM.XMM8), Mem(GPR.RAX, disp=-8)),
+    ]
+    out = rename_registers(insns, image)
+    assert "[rdi-8]" in str(out[1])
+
+
+def test_alias_dies_when_source_overwritten(image):
+    insns = [
+        ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI)),
+        ins(Op.MOV, Reg(GPR.RDI), Imm(0)),
+        ins(Op.ADD, Reg(GPR.RCX), Reg(GPR.RAX)),
+    ]
+    out = rename_registers(insns, image)
+    assert str(out[2]) == "add rcx, rax"  # NOT rdi
+
+
+def test_alias_dies_when_dest_overwritten(image):
+    insns = [
+        ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI)),
+        ins(Op.MOV, Reg(GPR.RAX), Imm(5)),
+        ins(Op.ADD, Reg(GPR.RCX), Reg(GPR.RAX)),
+    ]
+    out = rename_registers(insns, image)
+    assert str(out[2]) == "add rcx, rax"
+
+
+def test_self_copy_after_rename_dropped(image):
+    insns = [
+        ins(Op.MOVSD, FReg(XMM.XMM12), FReg(XMM.XMM8)),
+        ins(Op.MOVSD, FReg(XMM.XMM8), FReg(XMM.XMM12)),  # becomes self-copy
+        ins(Op.ADDSD, FReg(XMM.XMM8), FReg(XMM.XMM9)),
+    ]
+    out = rename_registers(insns, image)
+    assert len(out) == 2
+
+
+def test_barriers_clear_aliases(image):
+    insns = [
+        ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI)),
+        ins(Op.CALL, Imm(0x1000)),
+        ins(Op.ADD, Reg(GPR.RCX), Reg(GPR.RAX)),
+    ]
+    out = rename_registers(insns, image)
+    assert str(out[2]) == "add rcx, rax"
+
+
+def test_rmw_destination_never_renamed(image):
+    insns = [
+        ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI)),
+        ins(Op.ADD, Reg(GPR.RAX), Imm(1)),  # writes rax, must stay rax
+    ]
+    out = rename_registers(insns, image)
+    assert str(out[1]) == "add rax, 1"
+
+
+def test_end_to_end_semantics_preserved():
+    m = Machine()
+    m.load("""
+    noinline double helper(double v) { return v * 2.0; }
+    noinline double f(double a, double b) {
+        double x = helper(a) + helper(b);
+        return x - a;
+    }
+    """)
+    conf = brew_init_conf()
+    conf.passes = ("regrename", "dce", "peephole")
+    result = brew_rewrite(m, conf, "f", 0.0, 0.0)
+    assert result.ok, result.message
+    for a, b in [(1.0, 2.0), (-3.5, 0.25)]:
+        want = m.call("f", a, b).float_return
+        got = m.call(result.entry, a, b).float_return
+        assert math.isclose(got, want, rel_tol=1e-15)
+
+
+def test_regrename_improves_grouped_stencil():
+    from repro.models.stencil import StencilLab
+
+    lab = StencilLab(xs=16, ys=16)
+    plain = lab.rewrite_apply(grouped=True)
+    assert plain.ok
+    cleaned = lab.rewrite_apply(grouped=True,
+                                passes=("regrename", "dce", "peephole"))
+    assert cleaned.ok
+    c_plain = lab.run_with_apply(plain.entry, 1, grouped=True)
+    c_clean = lab.run_with_apply(cleaned.entry, 1, grouped=True)
+    # identical answers, fewer cycles
+    assert math.isclose(
+        lab.checksum(lab.final_matrix), lab.checksum(lab.final_matrix)
+    )
+    assert c_clean.cycles <= c_plain.cycles
+    assert cleaned.code_size <= plain.code_size

@@ -1,0 +1,155 @@
+"""Differential testing: for every function in a corpus and every
+knownness configuration, the rewritten code must agree with the original
+on sweeps of arguments (the drop-in contract, checked in bulk).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core import (
+    BREW_KNOWN, brew_init_conf, brew_rewrite, brew_setfunc, brew_setpar,
+)
+from repro.machine.vm import Machine
+
+# (name, source, arg domains); every function is total over its domain
+CORPUS = [
+    (
+        "arith_mix",
+        """
+        noinline long arith_mix(long a, long b) {
+            return (a * 3 - b / 2) % 17 + ((a & b) | (a ^ 5)) - (b << 2) + (a >> 1);
+        }
+        """,
+        [(-9, 4), (12, 5), (100, -7), (0, 1), (2**31, 3)],
+    ),
+    (
+        "branchy",
+        """
+        noinline long branchy(long a, long b) {
+            if (a > b) { if (a > 2 * b) return a - b; return a + b; }
+            if (a == b) return 42;
+            return b - a;
+        }
+        """,
+        [(1, 2), (2, 1), (5, 2), (3, 3), (-4, -9)],
+    ),
+    (
+        "looped",
+        """
+        noinline long looped(long n, long k) {
+            long total = 0;
+            for (long i = 0; i < n; i++) {
+                if (i % k == 0) total += i;
+                else total -= 1;
+            }
+            return total;
+        }
+        """,
+        [(0, 1), (5, 2), (12, 3), (20, 7)],
+    ),
+    (
+        "floaty",
+        """
+        noinline double floaty(double x, double y) {
+            double t = x * y;
+            if (t < 0.0) t = 0.0 - t;
+            return t + x / (y + 4.0);
+        }
+        """,
+        [(1.0, 2.0), (-3.0, 0.5), (2.5, -1.0), (0.0, 1.0)],
+    ),
+    (
+        "mem_walk",
+        """
+        long scratch[16];
+        noinline long mem_walk(long seed, long steps) {
+            for (long i = 0; i < 16; i++) scratch[i] = seed + i * 3;
+            long pos = 0;
+            for (long s = 0; s < steps; s++)
+                pos = scratch[pos % 16] % 16;
+            if (pos < 0) pos = 0 - pos;
+            return scratch[pos];
+        }
+        """,
+        [(3, 0), (5, 4), (11, 9)],
+    ),
+    (
+        "caller",
+        """
+        noinline long helper(long x, long y) { return x * y + 1; }
+        noinline long caller(long a, long b) {
+            return helper(a, b) + helper(b, 2) - helper(a + b, 0);
+        }
+        """,
+        [(1, 2), (7, -3), (0, 0)],
+    ),
+]
+
+
+def _configs(arity: int):
+    """Every subset of parameters declared known."""
+    for mask in range(2**arity):
+        yield [i + 1 for i in range(arity) if mask & (1 << i)]
+
+
+@pytest.mark.parametrize("name,source,domain", CORPUS, ids=[c[0] for c in CORPUS])
+def test_differential_all_known_subsets(name, source, domain):
+    machine = Machine()
+    machine.load(source)
+    arity = len(domain[0])
+    for known in _configs(arity):
+        for force_unknown in (False, True):
+            # trace with the first domain point as the example arguments
+            example = domain[0]
+            conf = brew_init_conf()
+            for index in known:
+                brew_setpar(conf, index, BREW_KNOWN)
+            if force_unknown:
+                brew_setfunc(conf, None, force_unknown_results=True)
+            result = brew_rewrite(machine, conf, name, *example)
+            assert result.ok, (known, force_unknown, result.message)
+            for args in domain:
+                # known params must match the traced values; substitute
+                effective = tuple(
+                    example[i] if (i + 1) in known else args[i]
+                    for i in range(arity)
+                )
+                want = machine.call(name, *effective)
+                got = machine.call(result.entry, *effective)
+                if name == "floaty":
+                    assert math.isclose(
+                        got.float_return, want.float_return, rel_tol=1e-12
+                    ), (known, force_unknown, effective)
+                else:
+                    assert got.int_return == want.int_return, (
+                        known, force_unknown, effective,
+                    )
+
+
+def test_differential_composed_rewrites():
+    """Rewriting a rewrite (Sec. III.A composability) stays correct for
+    every split of the known set."""
+    machine = Machine()
+    machine.load("""
+    noinline long f(long a, long b, long c) {
+        long acc = a * 2;
+        for (long i = 0; i < b; i++) acc += c - i;
+        return acc;
+    }
+    """)
+    example = (3, 4, 5)
+    for first, second in itertools.permutations([1, 2, 3], 2):
+        conf1 = brew_init_conf()
+        brew_setpar(conf1, first, BREW_KNOWN)
+        r1 = brew_rewrite(machine, conf1, "f", *example)
+        assert r1.ok, r1.message
+        conf2 = brew_init_conf()
+        brew_setpar(conf2, second, BREW_KNOWN)
+        r2 = brew_rewrite(machine, conf2, r1.entry, *example)
+        assert r2.ok, r2.message
+        want = machine.call("f", *example).int_return
+        assert machine.call(r2.entry, *example).int_return == want

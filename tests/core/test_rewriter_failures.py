@@ -1,0 +1,144 @@
+"""Graceful-failure coverage: every documented failure reason is reachable
+and never crashes (paper Sec. III.G: "this robustness is needed as we may
+follow arbitrary code paths")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core import brew_init_conf, brew_rewrite, brew_setpar, BREW_KNOWN, BREW_PTR_TO_KNOWN
+from repro.machine.vm import Machine
+
+
+def load_asm(machine: Machine, name: str, src: str) -> int:
+    probe, _ = assemble(src, 0, extra_labels=dict(machine.image.symbols))
+    addr = machine.image.add_function(name, b"\x00" * len(probe))
+    code, _ = assemble(src, addr, extra_labels=dict(machine.image.symbols))
+    machine.image.poke(addr, code)
+    return addr
+
+
+@pytest.fixture()
+def machine() -> Machine:
+    return Machine()
+
+
+def check_failure(machine, result, reason):
+    assert not result.ok
+    assert result.reason == reason, (result.reason, result.message)
+    assert result.entry is None
+    assert result.entry_or_original == result.original
+
+
+def test_indirect_jump_unknown_target(machine):
+    load_asm(machine, "f", "jmpi rdi")
+    check_failure(machine, brew_rewrite(machine, brew_init_conf(), "f", 0),
+                  "indirect-jump")
+
+
+def test_decode_error_in_garbage(machine):
+    addr = machine.image.add_function("garbage", b"\xff\xff\xff\xff")
+    check_failure(machine, brew_rewrite(machine, brew_init_conf(), "garbage"),
+                  "decode-error")
+
+
+def test_trace_runs_into_nonexecutable_memory(machine):
+    # a function that falls off its end into... nothing decodable; place
+    # a jmp to a data address
+    data = machine.image.add_data("blob", b"\x00" * 16)
+    load_asm(machine, "f", f"mov rax, 1\njmp blob")
+    result = brew_rewrite(machine, brew_init_conf(), "f")
+    assert not result.ok
+    assert result.reason in ("not-executable", "decode-error")
+
+
+def test_buffer_full(machine):
+    machine.load("""
+    noinline long f(long n) {
+        long t = 0;
+        for (long i = 0; i < n; i++) t += i;
+        return t;
+    }
+    """)
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_KNOWN)
+    conf.max_output_instructions = 4
+    check_failure(machine, brew_rewrite(machine, conf, "f", 1000), "buffer-full")
+
+
+def test_trace_limit(machine):
+    machine.load("""
+    noinline long f(long n) {
+        long t = 0;
+        for (long i = 0; i < n; i++) t += i;
+        return t;
+    }
+    """)
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_KNOWN)
+    conf.max_trace_steps = 50
+    check_failure(machine, brew_rewrite(machine, conf, "f", 100000), "trace-limit")
+
+
+def test_rsp_escape(machine):
+    load_asm(machine, "f", "mov rsp, rdi\nret")
+    result = brew_rewrite(machine, brew_init_conf(), "f", 0)
+    check_failure(machine, result, "rsp-escape")
+
+
+def test_stack_imbalance(machine):
+    load_asm(machine, "f", "push rax\nret")
+    result = brew_rewrite(machine, brew_init_conf(), "f")
+    check_failure(machine, result, "stack-imbalance")
+
+
+def test_bad_argument_types(machine):
+    machine.load("noinline long f(long a) { return a; }")
+    result = brew_rewrite(machine, brew_init_conf(), "f", "not-an-int")
+    check_failure(machine, result, "bad-argument")
+
+
+def test_ptr_to_known_unmapped(machine):
+    machine.load("noinline long f(long *p) { return *p; }")
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)
+    result = brew_rewrite(machine, conf, "f", 0xDEAD_BEEF_0000)
+    check_failure(machine, result, "bad-argument")
+
+
+def test_known_division_by_zero(machine):
+    machine.load("noinline long f(long a, long b) { return a / b; }")
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_KNOWN)
+    brew_setpar(conf, 2, BREW_KNOWN)
+    result = brew_rewrite(machine, conf, "f", 5, 0)
+    check_failure(machine, result, "div-by-zero")
+
+
+def test_failure_leaves_machine_usable(machine):
+    """After any failure the machine and original function still work."""
+    machine.load("noinline long f(long a) { return a * 2; }")
+    conf = brew_init_conf()
+    conf.max_output_instructions = 1
+    result = brew_rewrite(machine, conf, "f", 3)
+    assert not result.ok
+    assert machine.call("f", 21).int_return == 42
+    # and a subsequent rewrite with a sane budget succeeds
+    good = brew_rewrite(machine, brew_init_conf(), "f", 3)
+    assert good.ok
+    assert machine.call(good.entry, 21).int_return == 42
+
+
+def test_unknown_indirect_call_is_kept_not_failed(machine):
+    """Extension beyond the paper: unknown indirect *calls* are kept with
+    full compensation rather than failing (only unknown indirect jumps
+    fail)."""
+    machine.load("""
+    noinline long target(long x) { return x + 5; }
+    noinline long f(long (*fp)(long), long x) { return fp(x) + 1; }
+    """)
+    result = brew_rewrite(machine, brew_init_conf(), "f", 0, 0)
+    assert result.ok, result.message
+    t = machine.symbol("target")
+    assert machine.call(result.entry, t, 10).int_return == 16

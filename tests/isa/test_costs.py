@@ -1,0 +1,83 @@
+"""Cycle cost model tests: the knobs calibration relies on."""
+
+from __future__ import annotations
+
+from repro.isa.costs import CostModel, DEFAULT_COSTS
+from repro.isa.instruction import ins
+from repro.isa.opcodes import Op
+from repro.isa.operands import FReg, Imm, Mem, Reg
+from repro.isa.registers import GPR, XMM
+
+
+def cost(insn, taken=None, model=DEFAULT_COSTS):
+    return model.base_cost(insn, taken)
+
+
+def test_plain_alu_and_mov():
+    assert cost(ins(Op.ADD, Reg(GPR.RAX), Imm(1))) == DEFAULT_COSTS.alu
+    assert cost(ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RCX))) == DEFAULT_COSTS.mov
+
+
+def test_memory_source_adds_load():
+    m = Mem(GPR.RDI, disp=8)
+    assert cost(ins(Op.MOV, Reg(GPR.RAX), m)) == DEFAULT_COSTS.mov + DEFAULT_COSTS.load
+    assert cost(ins(Op.ADD, Reg(GPR.RAX), m)) == DEFAULT_COSTS.alu + DEFAULT_COSTS.load
+
+
+def test_memory_destination_store_and_rmw():
+    m = Mem(GPR.RDI, disp=8)
+    assert cost(ins(Op.MOV, m, Reg(GPR.RAX))) == DEFAULT_COSTS.mov + DEFAULT_COSTS.store
+    # read-modify-write pays both
+    assert cost(ins(Op.ADD, m, Imm(1))) == (
+        DEFAULT_COSTS.alu + DEFAULT_COSTS.store + DEFAULT_COSTS.load
+    )
+
+
+def test_lea_costs_no_memory_access():
+    assert cost(ins(Op.LEA, Reg(GPR.RAX), Mem(GPR.RSP, disp=8))) == DEFAULT_COSTS.lea
+
+
+def test_cmp_only_reads():
+    m = Mem(GPR.RDI)
+    assert cost(ins(Op.CMP, m, Imm(0))) == DEFAULT_COSTS.cmp + DEFAULT_COSTS.load
+
+
+def test_branch_taken_vs_not():
+    j = ins(Op.JNE, Imm(0x1000))
+    assert cost(j, taken=True) == DEFAULT_COSTS.jcc_taken
+    assert cost(j, taken=False) == DEFAULT_COSTS.jcc_not_taken
+
+
+def test_call_ret_push_pop_touch_stack():
+    assert cost(ins(Op.CALL, Imm(0x1000))) == DEFAULT_COSTS.call + DEFAULT_COSTS.store
+    assert cost(ins(Op.RET)) == DEFAULT_COSTS.ret + DEFAULT_COSTS.load
+    assert cost(ins(Op.PUSH, Reg(GPR.RAX))) == DEFAULT_COSTS.push + DEFAULT_COSTS.store
+    assert cost(ins(Op.POP, Reg(GPR.RAX))) == DEFAULT_COSTS.pop + DEFAULT_COSTS.load
+
+
+def test_float_mul_costs_more_than_add():
+    add = cost(ins(Op.ADDSD, FReg(XMM.XMM0), FReg(XMM.XMM1)))
+    mul = cost(ins(Op.MULSD, FReg(XMM.XMM0), FReg(XMM.XMM1)))
+    assert mul > add
+
+
+def test_indirect_forms_cost_more():
+    assert cost(ins(Op.CALLI, Reg(GPR.RAX))) > cost(ins(Op.CALL, Imm(0)))
+    assert cost(ins(Op.JMPI, Reg(GPR.RAX))) > cost(ins(Op.JMP, Imm(0)))
+
+
+def test_overrides_take_precedence():
+    model = CostModel(overrides={Op.IMUL: 99})
+    assert cost(ins(Op.IMUL, Reg(GPR.RAX), Imm(3)), model=model) == 99
+
+
+def test_custom_model_flows_through_machine():
+    from repro.machine.vm import Machine
+
+    slow = CostModel(alu=50)
+    fast = CostModel(alu=1)
+    src = "long f(long a) { return a + 1; }"
+    m_slow, m_fast = Machine(slow), Machine(fast)
+    m_slow.load(src)
+    m_fast.load(src)
+    assert m_slow.call("f", 1).cycles > m_fast.call("f", 1).cycles

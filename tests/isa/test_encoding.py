@@ -1,0 +1,189 @@
+"""Encode/decode roundtrip tests, including a hypothesis property sweep."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError, EncodingError
+from repro.isa.encoding import (
+    decode,
+    encode,
+    encode_program,
+    instruction_length,
+    iter_decode,
+    label_marker,
+)
+from repro.isa.instruction import Instruction, ins
+from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.operands import FReg, Imm, Label, Mem, Reg
+from repro.isa.registers import GPR, XMM
+
+
+def roundtrip(insn: Instruction, addr: int = 0x1000) -> Instruction:
+    code = encode(insn, addr)
+    out = decode(code, addr)
+    assert out.size == len(code) == instruction_length(insn)
+    return out
+
+
+def test_mov_reg_reg():
+    insn = ins(Op.MOV, Reg(GPR.RAX), Reg(GPR.RDI))
+    assert roundtrip(insn).operands == insn.operands
+
+
+def test_mov_reg_imm_small_uses_imm32():
+    insn = ins(Op.MOV, Reg(GPR.RAX), Imm(42))
+    assert instruction_length(insn) == 2 + 1 + 4
+    assert roundtrip(insn).operands == insn.operands
+
+
+def test_mov_reg_imm_large_uses_imm64():
+    insn = ins(Op.MOV, Reg(GPR.RAX), Imm(0x1234_5678_9ABC_DEF0))
+    assert instruction_length(insn) == 2 + 1 + 8
+    assert roundtrip(insn).operands == insn.operands
+
+
+def test_negative_imm_roundtrip():
+    insn = ins(Op.ADD, Reg(GPR.RCX), Imm(-7))
+    out = roundtrip(insn)
+    assert isinstance(out.operands[1], Imm)
+    assert out.operands[1].signed == -7
+
+
+def test_mem_full_form():
+    m = Mem(GPR.RDI, GPR.RCX, 8, -16)
+    insn = ins(Op.MOV, Reg(GPR.RAX), m)
+    assert roundtrip(insn).operands[1] == m
+
+
+def test_mem_disp_only():
+    m = Mem(disp=0x615100)
+    insn = ins(Op.MOVSD, FReg(XMM.XMM1), m)
+    assert roundtrip(insn).operands == (FReg(XMM.XMM1), m)
+
+
+def test_branch_encodes_relative_decodes_absolute():
+    insn = ins(Op.JMP, Imm(0x2000))
+    code = encode(insn, 0x1000)
+    out = decode(code, 0x1000)
+    assert out.operands == (Imm(0x2000),)
+
+
+def test_backward_branch():
+    insn = ins(Op.JNE, Imm(0x0F00))
+    out = decode(encode(insn, 0x1000), 0x1000)
+    assert out.operands == (Imm(0x0F00),)
+
+
+def test_call_rel_roundtrip():
+    insn = ins(Op.CALL, Imm(0x5555))
+    out = decode(encode(insn, 0x1234), 0x1234)
+    assert out.operands == (Imm(0x5555),)
+
+
+def test_zero_operand_ops():
+    for op in (Op.RET, Op.NOP, Op.HLT):
+        out = roundtrip(ins(op))
+        assert out.op is op and out.operands == ()
+
+
+def test_unknown_opcode_byte_raises():
+    with pytest.raises(DecodeError):
+        decode(bytes([0xFF, 0x00]), 0)
+
+
+def test_truncated_raises():
+    code = encode(ins(Op.MOV, Reg(GPR.RAX), Imm(1)))
+    with pytest.raises(DecodeError):
+        decode(code[:3], 0)
+
+
+def test_unresolved_label_raises():
+    with pytest.raises(EncodingError):
+        encode(ins(Op.JMP, Label("nowhere")))
+
+
+def test_three_operands_rejected():
+    insn = Instruction(Op.ADD, (Reg(GPR.RAX), Reg(GPR.RBX), Reg(GPR.RCX)))
+    with pytest.raises(EncodingError):
+        encode(insn)
+
+
+def test_encode_program_resolves_labels():
+    items = [
+        label_marker("top"),
+        ins(Op.DEC, Reg(GPR.RCX)),
+        ins(Op.JNE, Label("top")),
+        ins(Op.RET),
+    ]
+    code, labels = encode_program(items, base_addr=0x400)
+    assert labels["top"] == 0x400
+    decoded = list(iter_decode(code, 0x400))
+    assert decoded[1].op is Op.JNE
+    assert decoded[1].operands == (Imm(0x400),)
+
+
+def test_encode_program_undefined_label():
+    with pytest.raises(EncodingError):
+        encode_program([ins(Op.JMP, Label("missing"))])
+
+
+def test_extra_labels_bind_external_symbols():
+    code, labels = encode_program(
+        [ins(Op.CALL, Label("ext"))], base_addr=0, extra_labels={"ext": 0x9000}
+    )
+    out = decode(code, 0)
+    assert out.operands == (Imm(0x9000),)
+
+
+# ---------------------------------------------------------------- property
+
+_gprs = st.sampled_from(list(GPR))
+_xmms = st.sampled_from(list(XMM))
+_imms = st.integers(min_value=-(2**63), max_value=2**64 - 1).map(Imm)
+_mems = st.builds(
+    Mem,
+    base=st.one_of(st.none(), _gprs),
+    index=st.one_of(st.none(), _gprs),
+    scale=st.sampled_from([1, 2, 4, 8]),
+    disp=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+
+_int2ops = st.sampled_from([Op.MOV, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.IMUL, Op.CMP])
+
+
+@given(op=_int2ops, dst=_gprs, src=st.one_of(_gprs.map(Reg), _imms, _mems))
+def test_roundtrip_property_int_ops(op, dst, src):
+    insn = ins(op, Reg(dst), src)
+    out = roundtrip(insn)
+    assert out.op is op
+    assert out.operands[0] == Reg(dst)
+    assert out.operands[1] == src
+
+
+@given(
+    op=st.sampled_from([Op.MOVSD, Op.ADDSD, Op.SUBSD, Op.MULSD, Op.DIVSD]),
+    dst=_xmms,
+    src=st.one_of(_xmms.map(FReg), _mems),
+)
+def test_roundtrip_property_float_ops(op, dst, src):
+    insn = ins(op, FReg(dst), src)
+    assert roundtrip(insn).operands == (FReg(dst), src)
+
+
+@given(
+    op=st.sampled_from([o for o in Op if op_info(o).opclass is OpClass.JCC]),
+    addr=st.integers(min_value=0, max_value=2**30),
+    target=st.integers(min_value=0, max_value=2**30),
+)
+def test_roundtrip_property_branches(op, addr, target):
+    # |target - addr| must fit a rel32; 2**30 bounds keep it in range
+    insn = ins(op, Imm(target))
+    out = decode(encode(insn, addr), addr)
+    assert out.operands == (Imm(target),)
+
+
+def test_branch_displacement_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(ins(Op.JE, Imm(0)), 2**31 - 5)

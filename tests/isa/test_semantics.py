@@ -1,0 +1,163 @@
+"""Value/flag semantics tests (shared by CPU and tracer — see module doc)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CpuError
+from repro.isa.flags import Cond, Flag, cond_holds
+from repro.isa.opcodes import Op
+from repro.isa import semantics as S
+
+
+ints = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def test_signed_unsigned_views():
+    assert S.to_signed(2**64 - 1) == -1
+    assert S.to_unsigned(-1) == 2**64 - 1
+    assert S.to_signed(5) == 5
+
+
+def test_add_wraps_and_sets_carry():
+    result, flags = S.int_binop(Op.ADD, 2**64 - 1, 1)
+    assert result == 0
+    assert flags[Flag.ZF] and flags[Flag.CF]
+
+
+def test_sub_borrow():
+    result, flags = S.int_binop(Op.SUB, 0, 1)
+    assert result == 2**64 - 1
+    assert flags[Flag.CF] and flags[Flag.SF] and not flags[Flag.ZF]
+
+
+def test_cmp_equals_sets_zf():
+    _, flags = S.int_binop(Op.CMP, 42, 42)
+    assert flags[Flag.ZF]
+    assert cond_holds(Cond.E, flags)
+    assert not cond_holds(Cond.NE, flags)
+
+
+def test_signed_comparison_via_flags():
+    _, flags = S.int_binop(Op.CMP, S.to_unsigned(-5), 3)
+    assert cond_holds(Cond.L, flags)
+    assert not cond_holds(Cond.G, flags)
+    # unsigned view: huge > 3
+    assert cond_holds(Cond.A, flags)
+
+
+def test_imul_overflow_flag():
+    _, flags = S.int_binop(Op.IMUL, 2**62, 4)
+    assert flags[Flag.CF] and flags[Flag.OF]
+    result, flags = S.int_binop(Op.IMUL, 6, 7)
+    assert result == 42 and not flags[Flag.CF]
+
+
+def test_shifts():
+    assert S.int_binop(Op.SHL, 1, 4)[0] == 16
+    assert S.int_binop(Op.SHR, S.to_unsigned(-1), 63)[0] == 1
+    assert S.to_signed(S.int_binop(Op.SAR, S.to_unsigned(-8), 1)[0]) == -4
+    # counts are masked to 6 bits
+    assert S.int_binop(Op.SHL, 1, 64)[0] == 1
+
+
+def test_unops():
+    result, flags = S.int_unop(Op.NEG, 1)
+    assert S.to_signed(result) == -1 and flags is not None
+    result, flags = S.int_unop(Op.NOT, 0)
+    assert result == 2**64 - 1 and flags is None
+    assert S.int_unop(Op.INC, 41)[0] == 42
+    assert S.int_unop(Op.DEC, 43)[0] == 42
+
+
+def test_idiv_truncates_toward_zero():
+    q, r = S.idiv(S.to_unsigned(-7), 2)
+    assert S.to_signed(q) == -3 and S.to_signed(r) == -1
+    q, r = S.idiv(7, S.to_unsigned(-2))
+    assert S.to_signed(q) == -3 and S.to_signed(r) == 1
+
+
+def test_idiv_by_zero_raises():
+    with pytest.raises(CpuError):
+        S.idiv(1, 0)
+
+
+def test_float_ops():
+    assert S.float_binop(Op.ADDSD, 1.5, 2.5) == 4.0
+    assert S.float_binop(Op.MULSD, 3.0, -2.0) == -6.0
+    assert S.float_binop(Op.DIVSD, 1.0, 0.0) == math.inf
+
+
+def test_ucomisd():
+    flags = S.ucomisd_flags(1.0, 2.0)
+    assert flags[Flag.CF] and not flags[Flag.ZF]
+    flags = S.ucomisd_flags(2.0, 2.0)
+    assert flags[Flag.ZF] and not flags[Flag.CF]
+    flags = S.ucomisd_flags(math.nan, 2.0)
+    assert flags[Flag.ZF] and flags[Flag.CF]
+
+
+def test_conversions():
+    assert S.cvtsi2sd(S.to_unsigned(-3)) == -3.0
+    assert S.to_signed(S.cvttsd2si(-3.99)) == -3
+    assert S.cvttsd2si(math.nan) == 1 << 63
+
+
+def test_packed():
+    assert S.packed_binop(Op.ADDPD, (1.0, 2.0), (10.0, 20.0)) == (11.0, 22.0)
+    assert S.packed_binop(Op.MULPD, (2.0, 3.0), (4.0, 5.0)) == (8.0, 15.0)
+    assert S.packed_binop(Op.HADDPD, (1.0, 2.0), (3.0, 4.0)) == (3.0, 7.0)
+
+
+# ---------------------------------------------------------------- property
+
+@given(a=ints, b=ints)
+def test_add_matches_python_mod_2_64(a, b):
+    result, _ = S.int_binop(Op.ADD, a, b)
+    assert result == (a + b) % 2**64
+
+
+@given(a=ints, b=ints)
+def test_sub_matches_python_mod_2_64(a, b):
+    result, _ = S.int_binop(Op.SUB, a, b)
+    assert result == (a - b) % 2**64
+
+
+@given(a=ints, b=ints)
+def test_cmp_flags_give_correct_signed_ordering(a, b):
+    _, flags = S.int_binop(Op.CMP, a, b)
+    sa, sb = S.to_signed(a), S.to_signed(b)
+    assert cond_holds(Cond.L, flags) == (sa < sb)
+    assert cond_holds(Cond.LE, flags) == (sa <= sb)
+    assert cond_holds(Cond.G, flags) == (sa > sb)
+    assert cond_holds(Cond.GE, flags) == (sa >= sb)
+    assert cond_holds(Cond.E, flags) == (sa == sb)
+
+
+@given(a=ints, b=ints)
+def test_cmp_flags_give_correct_unsigned_ordering(a, b):
+    _, flags = S.int_binop(Op.CMP, a, b)
+    assert cond_holds(Cond.B, flags) == (a < b)
+    assert cond_holds(Cond.BE, flags) == (a <= b)
+    assert cond_holds(Cond.A, flags) == (a > b)
+    assert cond_holds(Cond.AE, flags) == (a >= b)
+
+
+@given(a=ints, b=ints.filter(lambda v: S.to_signed(v) != 0))
+def test_idiv_identity(a, b):
+    q, r = S.idiv(a, b)
+    sa, sb = S.to_signed(a), S.to_signed(b)
+    sq, sr = S.to_signed(q), S.to_signed(r)
+    # C identity: a == q*b + r, |r| < |b|, r has sign of a (or 0)
+    if abs(sq) < 2**63:  # identity only meaningful without quotient overflow
+        assert sq * sb + sr == sa
+        assert abs(sr) < abs(sb)
+
+
+@given(cond=st.sampled_from(list(Cond)), a=ints, b=ints)
+def test_cond_negation_is_complement(cond, a, b):
+    _, flags = S.int_binop(Op.CMP, a, b)
+    assert cond_holds(cond, flags) != cond_holds(cond.negated, flags)

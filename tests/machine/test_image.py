@@ -1,0 +1,102 @@
+"""Executable-image tests: allocators, symbols, remote nodes, literals."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import LinkError, MemoryError_
+from repro.machine.image import Image, LAYOUT
+
+
+@pytest.fixture()
+def image() -> Image:
+    return Image()
+
+
+def test_add_function_places_and_names(image):
+    addr = image.add_function("f", b"\x70\x00" * 3)
+    assert image.symbol("f") == addr
+    assert image.seg_code.contains(addr, 6)
+    assert image.function_sizes[addr] == 6
+    assert image.peek(addr, 2) == b"\x70\x00"
+
+
+def test_functions_are_aligned(image):
+    a = image.add_function("a", b"\x70\x00")
+    b = image.add_function("b", b"\x70\x00")
+    assert a % 16 == 0 and b % 16 == 0 and b > a
+
+
+def test_duplicate_symbol_rejected(image):
+    image.add_function("f", b"\x70\x00")
+    with pytest.raises(LinkError):
+        image.add_function("f", b"\x70\x00")
+
+
+def test_undefined_symbol_raises(image):
+    with pytest.raises(LinkError):
+        image.symbol("nope")
+
+
+def test_resolve_accepts_addresses(image):
+    assert image.resolve(0x1234) == 0x1234
+
+
+def test_data_vs_rodata_permissions(image):
+    rw = image.add_data("g", b"\x01" * 8)
+    ro = image.add_rodata("c", b"\x02" * 8)
+    image.memory.write_u64(rw, 5)
+    with pytest.raises(MemoryError_):
+        image.memory.write_u64(ro, 5)
+
+
+def test_malloc_zeroed_and_aligned(image):
+    a = image.malloc(24)
+    b = image.malloc(3, align=16)
+    assert b % 16 == 0
+    assert image.peek(a, 24) == b"\x00" * 24
+
+
+def test_heap_exhaustion(image):
+    with pytest.raises(MemoryError_):
+        image.malloc(LAYOUT.heap_size + 1)
+
+
+def test_emit_rewritten_lands_in_rewrite_segment(image):
+    addr = image.emit_rewritten("f__brew", b"\x70\x00")
+    assert image.seg_rewrite.contains(addr, 2)
+    assert image.symbol("f__brew") == addr
+
+
+def test_host_slots_unmapped_and_below_2_31(image):
+    addr = image.alloc_host_slot("host")
+    assert addr < 2**31
+    with pytest.raises(MemoryError_):
+        image.memory.read_u64(addr)
+
+
+def test_remote_nodes_have_surcharge_and_distinct_bases(image):
+    s1 = image.map_remote_node(1, 0x100, extra_cost=99)
+    s2 = image.map_remote_node(2, 0x100, extra_cost=99)
+    assert s2.base - s1.base == LAYOUT.remote_stride
+    assert image.memory.access_cost(s1.base) == 99
+
+
+def test_float_literal_pool_dedupes(image):
+    a = image.float_literal(2.5)
+    b = image.float_literal(2.5)
+    c = image.float_literal(-2.5)
+    assert a == b != c
+    assert struct.unpack("<d", image.peek(a, 8))[0] == 2.5
+
+
+def test_float_literal_distinguishes_zero_signs(image):
+    assert image.float_literal(0.0) != image.float_literal(-0.0)
+
+
+def test_initial_rsp_aligned_inside_stack(image):
+    rsp = image.initial_rsp
+    assert rsp % 16 == 0
+    assert image.seg_stack.contains(rsp - 8, 8)

@@ -1,0 +1,94 @@
+"""Memory subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryError_, SegmentationFault
+from repro.machine.memory import Memory, Perm, Segment
+
+
+@pytest.fixture
+def mem() -> Memory:
+    m = Memory()
+    m.map_segment(Segment("ram", 0x1000, 0x1000, Perm.RW))
+    m.map_segment(Segment("rom", 0x4000, 0x100, Perm.R))
+    m.map_segment(Segment("remote", 0x8000, 0x100, Perm.RW, extra_cost=200))
+    return m
+
+
+def test_read_write_roundtrip(mem):
+    mem.write_u64(0x1008, 0xDEADBEEF)
+    assert mem.read_u64(0x1008) == 0xDEADBEEF
+
+
+def test_f64_roundtrip(mem):
+    mem.write_f64(0x1010, -2.5)
+    assert mem.read_f64(0x1010) == -2.5
+
+
+def test_i64_signed_view(mem):
+    mem.write_u64(0x1000, 2**64 - 3)
+    assert mem.read_i64(0x1000) == -3
+
+
+def test_unmapped_access_faults(mem):
+    with pytest.raises(SegmentationFault):
+        mem.read_u64(0x9999)
+
+
+def test_access_straddling_segment_end_faults(mem):
+    with pytest.raises(SegmentationFault):
+        mem.read_u64(0x1000 + 0x1000 - 4)
+
+
+def test_write_to_readonly_rejected(mem):
+    with pytest.raises(MemoryError_):
+        mem.write_u64(0x4000, 1)
+
+
+def test_overlapping_segments_rejected(mem):
+    with pytest.raises(MemoryError_):
+        mem.map_segment(Segment("bad", 0x1800, 0x1000))
+
+
+def test_extra_cost_surfaced(mem):
+    assert mem.access_cost(0x8000) == 200
+    assert mem.access_cost(0x1000) == 0
+
+
+def test_counters_track_by_segment(mem):
+    mem.read_u64(0x1000)
+    mem.read_u64(0x4000)
+    mem.write_u64(0x1000, 1)
+    assert mem.loads["ram"] == 1
+    assert mem.loads["rom"] == 1
+    assert mem.stores["ram"] == 1
+    mem.reset_counters()
+    assert mem.loads["ram"] == 0
+
+
+def test_segment_by_name(mem):
+    assert mem.segment_by_name("rom").base == 0x4000
+    with pytest.raises(MemoryError_):
+        mem.segment_by_name("nope")
+
+
+@given(
+    value=st.integers(min_value=0, max_value=2**64 - 1),
+    offset=st.integers(min_value=0, max_value=0xF00),
+)
+def test_u64_roundtrip_property(value, offset):
+    m = Memory()
+    m.map_segment(Segment("ram", 0x1000, 0x1000, Perm.RW))
+    m.write_u64(0x1000 + offset, value)
+    assert m.read_u64(0x1000 + offset) == value
+
+
+@given(value=st.floats(allow_nan=False, allow_infinity=True))
+def test_f64_roundtrip_property(value):
+    m = Memory()
+    m.map_segment(Segment("ram", 0x1000, 0x100, Perm.RW))
+    m.write_f64(0x1000, value)
+    assert m.read_f64(0x1000) == value

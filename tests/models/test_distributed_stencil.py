@@ -1,0 +1,96 @@
+"""Distributed-stencil tests: the capstone workload combining the PGAS
+substrate, the stencil library, specialization and halo prefetch."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.models.distributed_stencil import DistributedStencilLab
+
+
+@pytest.fixture(scope="module")
+def lab() -> DistributedStencilLab:
+    return DistributedStencilLab(xs=16, rows_per_node=4, nnodes=3, remote_cost=150)
+
+
+def assert_matches_oracle(lab, tol=1e-12):
+    got = lab.read_out()
+    want = lab.reference_out()
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert math.isclose(g, w, rel_tol=tol, abs_tol=tol)
+
+
+def test_generic_sweep_matches_oracle(lab):
+    outcome = lab.run_generic()
+    assert_matches_oracle(lab)
+    # node 0 has no row above it; only the bottom halo row is remote
+    assert outcome.run.perf.remote_accesses == lab.xs - 2
+
+
+def test_rewritten_sweep_matches_and_speeds_up(lab):
+    generic = lab.run_generic()
+    result = lab.rewrite_sweep()
+    assert result.ok, result.message
+    rewritten = lab.run_rewritten(result)
+    assert_matches_oracle(lab)
+    assert rewritten.run.cycles < generic.run.cycles
+    # the indirect accessor calls are gone
+    assert rewritten.run.perf.calls == 0
+    # but the halo traffic is still remote
+    assert rewritten.run.perf.remote_accesses == generic.run.perf.remote_accesses
+
+
+def test_halo_prefetch_removes_remote_traffic(lab):
+    outcome, result = lab.run_halo_prefetched()
+    assert result.ok
+    assert_matches_oracle(lab)
+    assert outcome.run.perf.remote_accesses == 0
+    assert outcome.extra_cycles > 0  # the exchange was charged
+
+
+def test_full_ladder_ordering(lab):
+    generic = lab.run_generic()
+    plain = lab.rewrite_sweep()
+    assert plain.ok
+    rewritten = lab.run_rewritten(plain)
+    halo, _ = lab.run_halo_prefetched()
+    # generic > rewritten > halo-prefetched (totals include exchange cost)
+    assert rewritten.run.cycles < generic.run.cycles
+    assert halo.total_cycles < rewritten.run.cycles
+
+
+def test_bottom_rank_halo_reaches_up():
+    """The last rank's sweep needs the row *above* its slice, owned by
+    its neighbour; that neighbour's window is mapped, so the generic
+    accessor resolves it remotely and the answers stay exact."""
+    lab = DistributedStencilLab(xs=12, rows_per_node=4, nnodes=3)
+    last = lab.nnodes - 1
+    import struct
+
+    node_base = lab.remote_base + last * lab.remote_stride
+    lab.myrank = last
+    lab.machine.image.poke(lab.dg_addr, struct.pack(
+        "<9q", lab.xs, lab.ys, lab.rowblock, last, node_base,
+        lab.remote_base, lab.remote_stride, lab.halo, 0,
+    ))
+    lab.clear_out()
+    run = lab.machine.call(
+        "dg_sweep", lab.dg_addr, lab.out, lab.s_addr, lab.machine.symbol("dg_get")
+    )
+    got = lab.read_out()
+    # the host-side oracle must read the fill-time physical layout
+    lab.myrank = 0
+    first = last * lab.rowblock
+    for r in range(lab.rowblock):
+        y = first + r
+        if not (0 < y < lab.ys - 1):
+            continue
+        for x in range(1, lab.xs - 1):
+            want = sum(
+                f * lab.value_at(y + dy, x + dx)
+                for f, dx, dy in lab.spec.points
+            )
+            assert math.isclose(got[r * lab.xs + x], want, rel_tol=1e-12)

@@ -1,0 +1,73 @@
+"""Domain-map runtime tests (EXP-7): transparent respecialization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.models.domainmap import BLOCK, CYCLIC, DomainMapRuntime
+
+
+@pytest.fixture()
+def rt() -> DomainMapRuntime:
+    return DomainMapRuntime(nelems=64, nnodes=4)
+
+
+def test_generic_sum_matches_reference(rt):
+    result = rt.sum()
+    assert math.isclose(result.float_return, rt.reference_sum(rt.nelems), rel_tol=1e-12)
+
+
+def test_respecialize_keeps_answers_and_gets_faster(rt):
+    generic = rt.sum()
+    r = rt.respecialize()
+    assert r.ok, r.message
+    specialized = rt.sum()
+    assert math.isclose(specialized.float_return, generic.float_return, rel_tol=1e-12)
+    assert specialized.cycles < generic.cycles
+
+
+def test_redistribution_is_transparent(rt):
+    r = rt.respecialize()
+    assert r.ok
+    before = rt.sum()
+    rt.redistribute(CYCLIC)
+    after = rt.sum()
+    # same logical content, same answer, new specialized accessor
+    assert math.isclose(after.float_return, before.float_return, rel_tol=1e-12)
+    assert rt.respecialize_count == 2
+    assert rt.specialized is not None and rt.specialized.ok
+    rt.redistribute(BLOCK)
+    again = rt.sum()
+    assert math.isclose(again.float_return, before.float_return, rel_tol=1e-12)
+
+
+def test_cyclic_vs_block_specializations_differ(rt):
+    r_block = rt.respecialize()
+    rt.redistribute(CYCLIC)
+    r_cyclic = rt.specialized
+    assert r_block.entry != r_cyclic.entry
+    # block accessor divides by block; cyclic divides by nnodes — both
+    # branches of dm_read folded to their own straight path
+    from repro.isa.encoding import iter_decode
+    from repro.isa.opcodes import OpClass, op_info
+
+    for r in (r_block, r_cyclic):
+        code = rt.machine.image.peek(r.entry, r.code_size)
+        ops = [i.op for i in iter_decode(code, r.entry)]
+        assert not any(op_info(op).opclass is OpClass.JCC for op in ops)
+
+
+def test_failed_respecialization_falls_back_to_generic(rt):
+    # sabotage: make the budget impossible, the slot must still work
+    from repro.core import brew_init_conf, brew_setpar, BREW_PTR_TO_KNOWN, brew_rewrite
+
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)
+    conf.max_output_instructions = 1
+    result = brew_rewrite(rt.machine, conf, "dm_read", rt.dm_addr, 0)
+    assert not result.ok
+    rt._install(result.entry_or_original)
+    out = rt.sum()
+    assert math.isclose(out.float_return, rt.reference_sum(rt.nelems), rel_tol=1e-12)

@@ -1,0 +1,96 @@
+"""PGAS global-array tests: correctness vs oracle, remote-access
+accounting, and the abstraction-overhead relationships of EXP-6."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.models.pgas import PgasLab
+
+N = 256
+NODES = 4
+
+
+@pytest.fixture(scope="module")
+def lab() -> PgasLab:
+    return PgasLab(nelems=N, nnodes=NODES, remote_cost=150)
+
+
+def test_local_and_remote_gets(lab):
+    block = lab.block
+    local = lab.get(3)
+    assert math.isclose(local.float_return, lab.reference_sum(3, 4))
+    assert local.perf.remote_accesses == 0
+    remote = lab.get(block + 3)
+    assert math.isclose(remote.float_return, lab.reference_sum(block + 3, block + 4))
+    assert remote.perf.remote_accesses == 1
+    assert remote.cycles > local.cycles
+
+
+def test_put_local_and_remote(lab):
+    lab.machine.call("ga_put", lab.ga_addr, 5, 2.5)
+    assert math.isclose(lab.reference_sum(5, 6), 2.5)
+    lab.machine.call("ga_put", lab.ga_addr, lab.block * 2 + 1, -1.25)
+    assert math.isclose(lab.reference_sum(lab.block * 2 + 1, lab.block * 2 + 2), -1.25)
+    lab.fill()
+
+
+def test_generic_sum_matches_oracle(lab):
+    result = lab.sum_generic(0, N)
+    assert math.isclose(result.float_return, lab.reference_sum(0, N), rel_tol=1e-12)
+    assert result.perf.remote_accesses == N - lab.block
+
+
+def test_manual_local_sum_matches_oracle(lab):
+    result = lab.sum_manual_local()
+    assert math.isclose(result.float_return, lab.reference_sum(0, lab.block), rel_tol=1e-12)
+    assert result.perf.remote_accesses == 0
+
+
+def test_rewritten_accessor_is_drop_in(lab):
+    r = lab.rewrite_accessor()
+    assert r.ok, r.message
+    # same answers through the rewritten accessor, local and remote
+    for i in (0, 7, lab.block + 1, 3 * lab.block - 1):
+        direct = lab.get(i).float_return
+        rewritten = lab.machine.call(r.entry, lab.ga_addr, i).float_return
+        assert math.isclose(direct, rewritten, rel_tol=1e-15)
+    # and through the kernel's function pointer
+    via = lab.sum_generic(0, N, getter=r.entry)
+    assert math.isclose(via.float_return, lab.reference_sum(0, N), rel_tol=1e-12)
+
+
+def test_rewritten_accessor_folds_descriptor_loads(lab):
+    base = lab.sum_generic(0, lab.block)   # local range, generic accessor
+    r = lab.rewrite_accessor()
+    assert r.ok
+    faster = lab.sum_generic(0, lab.block, getter=r.entry)
+    assert faster.cycles < base.cycles
+    # the descriptor loads are gone: strictly fewer loads per element
+    assert faster.perf.loads < base.perf.loads
+
+
+def test_rewritten_kernel_removes_call_overhead(lab):
+    r = lab.rewrite_kernel()
+    assert r.ok, r.message
+    generic = lab.sum_generic(0, lab.block)
+    rewritten = lab.sum_with_kernel(r.entry, 0, lab.block)
+    manual = lab.sum_manual_local()
+    assert math.isclose(rewritten.float_return, generic.float_return, rel_tol=1e-12)
+    assert rewritten.perf.calls < generic.perf.calls  # inlined away
+    # EXP-6 ordering: manual < rewritten < generic
+    assert manual.cycles < rewritten.cycles < generic.cycles
+
+
+def test_remote_cycles_dominate_for_remote_ranges(lab):
+    local = lab.sum_generic(0, lab.block)
+    remote = lab.sum_generic(lab.block, 2 * lab.block)
+    assert remote.perf.remote_accesses == lab.block
+    assert remote.cycles > local.cycles + 100 * lab.block
+
+
+def test_uneven_distribution_rejected():
+    with pytest.raises(ValueError):
+        PgasLab(nelems=10, nnodes=4)

@@ -1,0 +1,147 @@
+"""Stencil library tests: correctness of every variant against a pure
+Python oracle, and the Section V relationships between their costs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.models.stencil import StencilLab, StencilSpec
+
+XS = YS = 16
+ITERS = 2
+
+
+@pytest.fixture(scope="module")
+def lab() -> StencilLab:
+    return StencilLab(xs=XS, ys=YS)
+
+
+def expected_after(lab: StencilLab, iters: int) -> list[float]:
+    lab.reset_matrices()
+    grid = lab.read_matrix(lab.m1)
+    for _ in range(iters):
+        grid = lab.reference_sweep(grid)
+    return grid
+
+
+def assert_matches_oracle(lab: StencilLab, iters: int):
+    got = lab.read_matrix(lab.final_matrix)  # before reset_matrices below
+    expected = expected_after(lab, iters)
+    assert len(expected) == len(got)
+    for e, g in zip(expected, got):
+        assert math.isclose(e, g, rel_tol=1e-12, abs_tol=1e-12)
+
+
+def test_spec_pack_layout():
+    spec = StencilSpec.five_point()
+    raw = spec.pack()
+    from repro.models.stencil import MAX_POINTS
+    assert len(raw) == 8 + MAX_POINTS * 24
+    import struct
+
+    assert struct.unpack_from("<q", raw)[0] == 5
+    f, dx, dy = struct.unpack_from("<dqq", raw, 8)
+    assert (f, dx, dy) == (0.25, -1, 0)
+
+
+def test_grouping_merges_equal_coefficients():
+    groups = StencilSpec.five_point().grouped()
+    assert len(groups) == 2
+    assert groups[0][0] == 0.25 and len(groups[0][1]) == 4
+    assert groups[1][0] == -1.0 and len(groups[1][1]) == 1
+
+
+def test_generic_matches_oracle(lab):
+    lab.run_generic(ITERS)
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_manual_matches_oracle(lab):
+    lab.run_manual(ITERS)
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_grouped_generic_matches_oracle(lab):
+    lab.run_grouped_generic(ITERS)
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_compiler_inlined_matches_oracle(lab):
+    lab.run_compiler_inlined(ITERS)
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_rewritten_matches_oracle(lab):
+    result = lab.rewrite_apply()
+    assert result.ok, result.message
+    lab.run_with_apply(result.entry, ITERS)
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_rewritten_grouped_matches_oracle(lab):
+    result = lab.rewrite_apply(grouped=True)
+    assert result.ok, result.message
+    lab.run_with_apply(result.entry, ITERS, grouped=True)
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_rewritten_sweep_matches_oracle(lab):
+    result = lab.rewrite_sweep()
+    assert result.ok, result.message
+    lab.reset_matrices()
+    src, dst = lab.m1, lab.m2
+    for _ in range(ITERS):
+        lab.machine.call(result.entry, src, dst, XS, YS, lab.s_addr,
+                         lab.machine.symbol("apply"))
+        src, dst = dst, src
+    lab.final_matrix = src
+    assert_matches_oracle(lab, ITERS)
+
+
+def test_section_v_cost_ordering(lab):
+    """The paper's qualitative result: manual < rewritten < generic, and
+    grouped-generic is the slowest generic variant."""
+    generic = lab.run_generic(1).cycles
+    manual = lab.run_manual(1).cycles
+    grouped = lab.run_grouped_generic(1).cycles
+    rewritten = lab.rewrite_apply()
+    assert rewritten.ok
+    rew = lab.run_with_apply(rewritten.entry, 1).cycles
+    grouped_rewritten = lab.rewrite_apply(grouped=True)
+    assert grouped_rewritten.ok
+    rew_grouped = lab.run_with_apply(grouped_rewritten.entry, 1, grouped=True).cycles
+
+    assert manual < generic
+    assert rew < generic
+    assert manual <= rew  # naive rewrite does not beat manual (Sec. V.A)
+    assert grouped > generic  # grouping slows the generic version (Sec. V.B)
+    # grouping lets the rewritten version close (most of) the gap to manual
+    assert rew_grouped <= rew
+
+
+def test_rewritten_apply_has_no_loop(lab):
+    """Figure 6: the specialized apply is straight-line code."""
+    from repro.isa.encoding import iter_decode
+    from repro.isa.opcodes import OpClass, op_info
+
+    result = lab.rewrite_apply()
+    assert result.ok
+    code = lab.machine.image.peek(result.entry, result.code_size)
+    ops = [i.op for i in iter_decode(code, result.entry)]
+    assert not any(op_info(op).opclass in (OpClass.JMP, OpClass.JCC) for op in ops)
+    # 5 multiplications, one per stencil point
+    mulsd = [op for op in ops if op.name == "MULSD"]
+    assert len(mulsd) == len(lab.spec.points)
+
+
+def test_nine_point_stencil_also_works():
+    lab = StencilLab(xs=12, ys=12, spec=StencilSpec.nine_point())
+    result = lab.rewrite_apply()
+    assert result.ok, result.message
+    lab.run_with_apply(result.entry, 1)
+    got = lab.read_matrix(lab.final_matrix)
+    expected = expected_after(lab, 1)
+    for e, g in zip(expected, got):
+        assert math.isclose(e, g, rel_tol=1e-12, abs_tol=1e-12)

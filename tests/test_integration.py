@@ -1,0 +1,158 @@
+"""Cross-module integration tests: the full stack working together the
+way a downstream user would drive it."""
+
+from __future__ import annotations
+
+import math
+
+from repro import Machine
+from repro.core import (
+    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setpar,
+)
+from repro.core.dispatch import specialize_hot_param
+from repro.models.stencil import StencilLab, StencilSpec
+from repro.profiling import CallCounter, ValueProfiler
+
+
+def test_hotspot_driven_rewriting_workflow():
+    """Profile -> find hotspot -> rewrite it -> swap the pointer."""
+    m = Machine()
+    m.load("""
+    noinline double kernel(double *v, long n, long stride) {
+        double t = 0.0;
+        for (long i = 0; i < n; i++) t = t + v[i * stride];
+        return t;
+    }
+    noinline double driver(double *v, long n, long reps) {
+        double acc = 0.0;
+        for (long r = 0; r < reps; r++)
+            acc = acc + kernel(v, n, 1);
+        return acc;
+    }
+    """)
+    n = 32
+    v = m.image.malloc(n * 8)
+    for i in range(n):
+        m.memory.write_f64(v + 8 * i, float(i))
+
+    counter = CallCounter(m.cpu).attach()
+    profiler = ValueProfiler(m.cpu).attach()
+    baseline = m.call("driver", v, n, 4)
+    profiler.detach()
+    counter.detach()
+
+    hot_addr, _ = counter.hotspots(1)[0]
+    assert hot_addr == m.symbol("kernel")
+    spec = specialize_hot_param(
+        m, hot_addr, profiler.profile(hot_addr), param=3,
+        example_args=(v, n, 1),
+    )
+    assert spec is not None and spec.guard_value == 1
+    direct = m.call(spec.entry, v, n, 1)
+    plain = m.call("kernel", v, n, 1)
+    assert math.isclose(direct.float_return, plain.float_return)
+    assert direct.cycles < plain.cycles
+
+
+def test_many_rewrites_coexist():
+    """Dozens of rewrites in one image: symbols, code space, correctness."""
+    m = Machine()
+    m.load("noinline long f(long a, long b) { return a * b + a - b; }")
+    entries = []
+    for k in range(40):
+        conf = brew_init_conf()
+        brew_setpar(conf, 2, BREW_KNOWN)
+        result = brew_rewrite(m, conf, "f", 0, k)
+        assert result.ok, result.message
+        entries.append((k, result.entry))
+    assert len({e for _, e in entries}) == 40
+    for k, entry in entries:
+        for a in (0, 3, -5):
+            assert m.call(entry, a, k).int_return == a * k + a - k
+
+
+def test_rewrite_of_rewrite_chain_deepens_specialization():
+    m = Machine()
+    m.load("""
+    noinline double poly(double x, double a, double b, double c) {
+        return (a * x + b) * x + c;
+    }
+    """)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    r1 = brew_rewrite(m, conf, "poly", 0.0, 2.0, 0.0, 0.0)
+    assert r1.ok
+    conf2 = brew_init_conf()
+    brew_setpar(conf2, 3, BREW_KNOWN)
+    r2 = brew_rewrite(m, conf2, r1.entry, 0.0, 0.0, 3.0, 0.0)
+    assert r2.ok
+    conf3 = brew_init_conf()
+    brew_setpar(conf3, 4, BREW_KNOWN)
+    r3 = brew_rewrite(m, conf3, r2.entry, 0.0, 0.0, 0.0, 4.0)
+    assert r3.ok
+    for x in (0.0, 1.0, -2.5):
+        want = (2.0 * x + 3.0) * x + 4.0
+        assert math.isclose(m.call(r3.entry, x).float_return, want)
+    # each stage folds more: cycles decrease monotonically
+    c0 = m.call("poly", 1.0, 2.0, 3.0, 4.0).cycles
+    c3 = m.call(r3.entry, 1.0).cycles
+    assert c3 < c0
+
+
+def test_stencil_respecialization_on_new_pattern():
+    """The library story end to end: new stencil arrives at runtime,
+    library re-runs brew_rewrite, answers stay oracle-exact."""
+    lab = StencilLab(xs=12, ys=12)
+    for spec in (StencilSpec.five_point(), StencilSpec.nine_point()):
+        lab.spec = spec
+        lab.machine.image.poke(lab.s_addr, spec.pack())
+        result = lab.rewrite_apply()
+        assert result.ok, result.message
+        lab.run_with_apply(result.entry, 1)
+        got = lab.read_matrix(lab.final_matrix)
+        lab.reset_matrices()
+        expected = lab.reference_sweep(lab.read_matrix(lab.m1))
+        assert all(
+            math.isclose(e, g, rel_tol=1e-12, abs_tol=1e-12)
+            for e, g in zip(expected, got)
+        )
+
+
+def test_cross_unit_rewriting():
+    """Rewrite a function whose callee lives in a different compilation
+    unit (the 'libraries available only in binary form' argument)."""
+    m = Machine()
+    m.load("noinline long lib_op(long x, long k) { return x * k; }", unit="vendor")
+    m.load("""
+    extern long lib_op(long x, long k);
+    noinline long app(long x) { return lib_op(x, 7) + 1; }
+    """, unit="app")
+    result = brew_rewrite(m, brew_init_conf(), "app", 0)
+    assert result.ok, result.message
+    assert result.stats.inlined_calls >= 1  # inlined across units, binary-only
+    assert m.call(result.entry, 6).int_return == 43
+
+
+def test_memory_hook_composes_with_specialization():
+    m = Machine()
+    m.load("""
+    struct Cfg { long stride; };
+    noinline double pick(double *v, struct Cfg *c, long i) {
+        return v[i * c->stride];
+    }
+    """)
+    v = m.image.malloc(64 * 8)
+    for i in range(64):
+        m.memory.write_f64(v + 8 * i, float(i))
+    cfg = m.image.malloc(8)
+    m.memory.write_u64(cfg, 2)
+    seen = []
+    hook = m.register_host_function("spy", lambda cpu: seen.append(cpu.regs[7]))
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    conf.memory_hook = hook
+    result = brew_rewrite(m, conf, "pick", v, cfg, 0)
+    assert result.ok, result.message
+    out = m.call(result.entry, v, cfg, 5)
+    assert out.float_return == 10.0         # stride folded to 2
+    assert v + 80 in seen                   # the data access observed

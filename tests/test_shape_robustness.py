@@ -1,0 +1,32 @@
+"""Shape robustness: the EXP-1 ratios the reproduction claims must be
+insensitive to the workload size (the paper ran 500², we run 24² — this
+is the test that justifies the substitution in DESIGN.md §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.stencil import StencilLab
+
+
+def measure_ratios(xs: int) -> dict[str, float]:
+    lab = StencilLab(xs=xs, ys=xs)
+    generic = lab.run_generic(1).cycles
+    out = {"generic": 1.0}
+    out["manual"] = lab.run_manual(1).cycles / generic
+    rewritten = lab.rewrite_apply()
+    assert rewritten.ok
+    out["rewritten"] = lab.run_with_apply(rewritten.entry, 1).cycles / generic
+    out["inlined"] = lab.run_compiler_inlined(1).cycles / generic
+    return out
+
+
+@pytest.mark.slow
+def test_exp1_ratios_are_size_insensitive():
+    small = measure_ratios(12)
+    large = measure_ratios(48)   # 16x the points of the small run
+    for key in ("manual", "rewritten", "inlined"):
+        assert abs(small[key] - large[key]) < 0.06, (key, small[key], large[key])
+    # and the orderings hold at both sizes
+    for m in (small, large):
+        assert m["inlined"] < m["manual"] <= m["rewritten"] < 1.0
