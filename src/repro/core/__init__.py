@@ -29,7 +29,11 @@ Internally (Sections III.E–III.G of the paper):
   final binary emission and jump relocation;
 * :mod:`repro.core.passes` — optional post-capture optimization passes
   (the paper's "future work", implemented here as extensions);
-* :mod:`repro.core.dispatch` — profile-guided guarded specialization.
+* :mod:`repro.core.dispatch` — profile-guided guarded specialization;
+* :mod:`repro.core.resilience` — the degradation ladder and the
+  differential validation gate around ``brew_rewrite``;
+* :mod:`repro.core.manager` — caching, invalidation and failure
+  quarantine across many rewrites.
 """
 
 from repro.core.config import (
@@ -47,10 +51,12 @@ from repro.core.api import (
     brew_setmem,
     brew_setpar,
 )
+from repro.core.resilience import RewriteSupervisor, supervised_rewrite, validate_variant
 
 __all__ = [
     "BREW_KNOWN", "BREW_PTR_TO_KNOWN", "BREW_UNKNOWN",
     "RewriteConfig", "FunctionConfig", "RewriteResult", "rewrite",
     "brew_init_conf", "brew_setpar", "brew_setmem", "brew_setfunc",
     "brew_rewrite",
+    "RewriteSupervisor", "supervised_rewrite", "validate_variant",
 ]

@@ -83,6 +83,15 @@ class RewriteConfig:
     #: a graceful failure ("when buffers run out of space", Sec. III.G).
     max_trace_steps: int = 2_000_000
     max_output_instructions: int = 400_000
+    #: Wall-clock budget in host seconds for one rewrite attempt; ``None``
+    #: means unbounded.  Exceeding it is a graceful ``deadline-exceeded``
+    #: failure — the resilience supervisor uses this to bound every rung
+    #: of its degradation ladder.
+    deadline_seconds: float | None = None
+    #: Default ``inline`` for functions without an explicit
+    #: :class:`FunctionConfig` (the supervisor's no-inline ladder rung
+    #: flips this to ``False`` so *every* traced call is kept).
+    inline_default: bool = True
     #: Addresses of ``makeDynamic``-style identity functions whose result
     #: must always be treated as unknown (paper Sec. V.C).
     dynamic_markers: set[int] = field(default_factory=set)
@@ -107,7 +116,27 @@ class RewriteConfig:
         unconfigured functions get defaults."""
         key: int | str = self.ENTRY if addr is None else addr
         cfg = self.functions.get(key)
-        return cfg if cfg is not None else FunctionConfig()
+        return cfg if cfg is not None else FunctionConfig(inline=self.inline_default)
+
+    def copy(self) -> "RewriteConfig":
+        """An independent deep copy (per-function configs, known-memory
+        list and marker set are not shared).  The supervisor derives each
+        degradation-ladder rung from a copy so the caller's configuration
+        is never mutated behind its back."""
+        return RewriteConfig(
+            functions={k: v.copy() for k, v in self.functions.items()},
+            known_memory=list(self.known_memory),
+            variant_threshold=self.variant_threshold,
+            max_trace_steps=self.max_trace_steps,
+            max_output_instructions=self.max_output_instructions,
+            deadline_seconds=self.deadline_seconds,
+            inline_default=self.inline_default,
+            dynamic_markers=set(self.dynamic_markers),
+            passes=self.passes,
+            deferred_spills=self.deferred_spills,
+            entry_hook=self.entry_hook,
+            memory_hook=self.memory_hook,
+        )
 
     def set_param(self, index: int, knownness: Knownness, addr: int | None = None) -> None:
         key: int | str = self.ENTRY if addr is None else addr

@@ -21,6 +21,7 @@ from repro.asm.builder import Builder
 from repro.core.api import brew_init_conf, brew_rewrite, brew_setpar
 from repro.core.config import BREW_KNOWN, RewriteConfig
 from repro.core.rewriter import RewriteResult
+from repro.isa.operands import Mem
 
 
 @dataclass
@@ -35,19 +36,38 @@ class GuardedSpecialization:
 
 
 def build_guard_stub(
-    machine, fn: int | str, param: int, value: int, specialized_entry: int
+    machine,
+    fn: int | str,
+    param: int,
+    value: int,
+    specialized_entry: int,
+    *,
+    epoch_cell: int | None = None,
+    epoch: int | None = None,
 ) -> int:
     """Emit ``if (argN == value) goto specialized else goto original``.
 
     ``param`` is 1-based and must be an integer parameter (the guard
     compares a GPR).  Returns the stub's address.
+
+    With ``epoch_cell``/``epoch`` (from a
+    :class:`~repro.core.manager.SpecializationManager`), the stub first
+    checks the known-memory epoch: ``if ([epoch_cell] != epoch) goto
+    original``.  Invalidation bumps the cell, so a stub guarding a
+    variant whose known data has since mutated falls back to the
+    original in one compare instead of dispatching to stale code.
     """
     image = machine.image
     original = image.resolve(fn)
     if not 1 <= param <= len(INT_ARG_REGS):
         raise RewriteFailure("bad-guard", f"cannot guard parameter {param}")
+    if (epoch_cell is None) != (epoch is None):
+        raise RewriteFailure("bad-guard", "epoch_cell and epoch go together")
     reg = INT_ARG_REGS[param - 1]
     b = Builder()
+    if epoch_cell is not None:
+        b.cmp(Mem(disp=epoch_cell), epoch)
+        b.jne("original")
     b.cmp(reg, value)
     b.jne("original")
     b.jmp("specialized")
@@ -74,6 +94,8 @@ def specialize_hot_param(
     min_share: float = 0.8,
     conf: RewriteConfig | None = None,
     example_args: tuple = (),
+    supervisor=None,
+    manager=None,
 ) -> GuardedSpecialization | None:
     """Profile-guided guarded specialization of one integer parameter.
 
@@ -82,6 +104,11 @@ def specialize_hot_param(
     ``example_args`` supplies values for the *other* parameters during
     tracing; the guarded parameter's slot is overwritten with the hot
     value.
+
+    ``supervisor`` (a :class:`~repro.core.resilience.RewriteSupervisor`)
+    routes the rewrite through the degradation ladder and validation
+    gate; ``manager`` (a :class:`~repro.core.manager.SpecializationManager`)
+    adds its known-memory epoch check to the emitted guard stub.
     """
     hot = profile.hot_value(param, min_share)
     if hot is None:
@@ -90,14 +117,25 @@ def specialize_hot_param(
     original = image.resolve(fn)
     conf = conf or brew_init_conf()
     brew_setpar(conf, param, BREW_KNOWN)
-    args = list(example_args) if example_args else [0] * max(param, profile_arg_count(profile))
-    while len(args) < param:
+    args = list(example_args) if example_args else []
+    # pad with zeros up to the guarded slot AND every profiled parameter,
+    # whichever is further out — short example_args used to skip the
+    # profile width entirely, starving later profiled params of a value
+    while len(args) < max(param, profile_arg_count(profile)):
         args.append(0)
     args[param - 1] = hot
-    result = brew_rewrite(machine, conf, original, *args)
+    if supervisor is not None:
+        result = supervisor.rewrite(conf, original, *args)
+    else:
+        result = brew_rewrite(machine, conf, original, *args)
     if not result.ok:
         return None
-    stub = build_guard_stub(machine, original, param, hot, result.entry)
+    epoch_kwargs = {}
+    if manager is not None:
+        epoch_kwargs = {"epoch_cell": manager.epoch_cell, "epoch": manager.epoch}
+    stub = build_guard_stub(
+        machine, original, param, hot, result.entry, **epoch_kwargs
+    )
     return GuardedSpecialization(
         entry=stub, guard_param=param, guard_value=hot,
         specialized=result, original=original,
@@ -110,20 +148,33 @@ def profile_arg_count(profile) -> int:
 
 
 def build_multi_guard_stub(
-    machine, fn: int | str, param: int, cases: list[tuple[int, int]]
+    machine,
+    fn: int | str,
+    param: int,
+    cases: list[tuple[int, int]],
+    *,
+    epoch_cell: int | None = None,
+    epoch: int | None = None,
 ) -> int:
     """A guard *chain*: ``cases`` maps parameter values to specialized
     entries; anything else falls through to the original.  The paper's
     "concept easily can be extended to cover various statistical
-    knowledge of the dynamic program flow" — here: the top-K values."""
+    knowledge of the dynamic program flow" — here: the top-K values.
+    ``epoch_cell``/``epoch`` prepend the same known-memory epoch check
+    as :func:`build_guard_stub`."""
     image = machine.image
     original = image.resolve(fn)
     if not 1 <= param <= len(INT_ARG_REGS):
         raise RewriteFailure("bad-guard", f"cannot guard parameter {param}")
     if not cases:
         raise RewriteFailure("bad-guard", "empty guard chain")
+    if (epoch_cell is None) != (epoch is None):
+        raise RewriteFailure("bad-guard", "epoch_cell and epoch go together")
     reg = INT_ARG_REGS[param - 1]
     b = Builder()
+    if epoch_cell is not None:
+        b.cmp(Mem(disp=epoch_cell), epoch)
+        b.jne("orig_target")
     for index, (value, _) in enumerate(cases):
         b.cmp(reg, value)
         b.je(f"case{index}")

@@ -1,5 +1,4 @@
-"""Specialization management: caching, reuse and invalidation of
-rewrites.
+"""Specialization management: caching, reuse, invalidation, quarantine.
 
 The paper's use cases all share a lifecycle the raw ``brew_rewrite``
 call leaves to the caller: a library specializes a function *per
@@ -13,21 +12,39 @@ trigger a new specialization whenever the domain map is changed").
   arguments, fingerprints of the known memory they depend on)``;
 * ``get`` returns a cached drop-in pointer or rewrites on miss;
 * ``invalidate_memory(start, end)`` drops variants whose known-memory
-  ranges overlap a mutated region (the redistribute trigger);
-* failures are cached too — a function that cannot be rewritten is not
-  retried on every call (the graceful-failure idiom, at scale).
+  ranges overlap a mutated region (the redistribute trigger) and bumps
+  the **known-memory epoch** — a data cell that guard stubs built via
+  :func:`repro.core.dispatch.build_guard_stub` check before dispatching
+  to a variant, so stale stubs fall back to the original in one compare;
+* failures are **quarantined with backoff** rather than pinned forever:
+  a failed rewrite is served from cache while its backoff window is
+  open, then retried; repeated failures back off exponentially.  A
+  function that cannot be rewritten *today* (buffers too small, code
+  path unsupported) may well succeed after the workload or configuration
+  changes — pinning the failure forever turns a transient condition
+  into a permanent one;
+* ``stats()`` exposes hit/miss/fallback/quarantine counters so runtimes
+  can report specialization health (the experiments harness does).
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.config import FunctionConfig, RewriteConfig
 from repro.core.rewriter import RewriteResult, rewrite
 
+#: First-failure backoff window in (clock) seconds; doubles per repeat.
+DEFAULT_BACKOFF_SECONDS = 0.25
+#: Ceiling for the exponential backoff window.
+MAX_BACKOFF_SECONDS = 60.0
+
 
 def _config_fingerprint(conf: RewriteConfig) -> tuple:
+    """A hashable digest of everything that changes rewrite output."""
     def fn_key(cfg: FunctionConfig) -> tuple:
         return (
             tuple(sorted((k, v.value) for k, v in cfg.params.items())),
@@ -39,31 +56,86 @@ def _config_fingerprint(conf: RewriteConfig) -> tuple:
         tuple(sorted(conf.known_memory)),
         conf.variant_threshold,
         conf.deferred_spills,
+        conf.inline_default,
         conf.passes,
         tuple(sorted(conf.dynamic_markers)),
     )
 
 
+def _args_fingerprint(args: tuple) -> tuple:
+    """A hashable stand-in for the example arguments.
+
+    Rewrite arguments are ints and floats, which hash fine — but a caller
+    passing a list or dict by mistake should get the rewriter's graceful
+    ``bad-argument`` result, not a raw ``TypeError`` out of the cache
+    key.  Unhashable arguments are fingerprinted by type and repr."""
+    try:
+        hash(args)
+        return args
+    except TypeError:
+        return tuple(
+            (type(a).__name__, hashlib.sha1(repr(a).encode()).hexdigest())
+            for a in args
+        )
+
+
 @dataclass
 class _Entry:
+    """One cached rewrite outcome (success or quarantined failure)."""
+
     result: RewriteResult
     #: (start, end, content-hash) for every known range at rewrite time
     memory_deps: list[tuple[int, int, str]] = field(default_factory=list)
+    #: Consecutive failures for this key (0 for a successful entry).
+    fail_count: int = 0
+    #: Clock time at which a quarantined failure becomes retryable.
+    retry_at: float = 0.0
 
     def overlaps(self, start: int, end: int) -> bool:
+        """Whether any known-memory dependency intersects [start, end)."""
         return any(s < end and start < e for s, e, _ in self.memory_deps)
 
 
 class SpecializationManager:
-    """Caches rewrites per machine; see the module docstring."""
+    """Caches rewrites per machine; see the module docstring.
 
-    def __init__(self, machine) -> None:
+    ``rewrite_fn`` lets callers route rewrites through a
+    :class:`~repro.core.resilience.RewriteSupervisor` (pass its bound
+    ``rewrite`` method); the default is the plain ``brew_rewrite``
+    pipeline.  ``clock`` is injectable for deterministic backoff tests.
+    """
+
+    def __init__(
+        self,
+        machine,
+        *,
+        rewrite_fn: Callable[..., RewriteResult] | None = None,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        max_backoff_seconds: float = MAX_BACKOFF_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.machine = machine
+        self._rewrite_fn = rewrite_fn
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self.clock = clock
         self._cache: dict[tuple, _Entry] = {}
         self.hits = 0
         self.misses = 0
+        self.fallbacks = 0
+        self.quarantine_hits = 0
+        self.quarantine_retries = 0
+        #: Monotone counter bumped on every invalidation; mirrored into
+        #: :attr:`epoch_cell` so guard stubs can check it in one compare.
+        self.epoch = 1
+        self._epoch_cell: int | None = None
 
     # ------------------------------------------------------------- internal
+    def _do_rewrite(self, conf: RewriteConfig, fn, *args) -> RewriteResult:
+        if self._rewrite_fn is not None:
+            return self._rewrite_fn(conf, fn, *args)
+        return rewrite(self.machine, conf, fn, *args)
+
     def _memory_deps(self, conf: RewriteConfig) -> list[tuple[int, int, str]]:
         deps = []
         for start, end in conf.known_memory:
@@ -73,50 +145,125 @@ class SpecializationManager:
 
     def _key(self, fn, conf: RewriteConfig, args: tuple) -> tuple:
         addr = self.machine.image.resolve(fn)
-        return (addr, _config_fingerprint(conf), args)
+        return (addr, _config_fingerprint(conf), _args_fingerprint(args))
+
+    def _backoff(self, fail_count: int) -> float:
+        return min(
+            self.backoff_seconds * (2 ** (fail_count - 1)),
+            self.max_backoff_seconds,
+        )
 
     # ------------------------------------------------------------------ api
+    @property
+    def epoch_cell(self) -> int:
+        """Address of the 8-byte known-memory epoch cell (lazily
+        allocated on the machine's heap and kept equal to ``epoch``)."""
+        if self._epoch_cell is None:
+            self._epoch_cell = self.machine.image.malloc(8)
+            self._write_epoch()
+        return self._epoch_cell
+
+    def _write_epoch(self) -> None:
+        self.machine.image.poke(
+            self._epoch_cell, (self.epoch & 0xFFFFFFFF).to_bytes(8, "little")
+        )
+
+    def _bump_epoch(self) -> None:
+        self.epoch += 1
+        if self._epoch_cell is not None:
+            self._write_epoch()
+
     def get(self, conf: RewriteConfig, fn, *args) -> RewriteResult:
         """A (possibly cached) rewrite of ``fn`` under ``conf``.
 
         Note: call this *after* declaring parameters/memory on ``conf``;
         PTR_TO_KNOWN ranges are registered during the first rewrite and
         participate in the fingerprint from then on.
+
+        Successes are served from cache while their known-memory
+        dependencies are byte-identical.  Failures are served from cache
+        only while their backoff window is open; after it expires the
+        rewrite is retried, and repeated failures double the window
+        (capped at ``max_backoff_seconds``).
         """
         key = self._key(fn, conf, args)
         entry = self._cache.get(key)
+        retry_of: _Entry | None = None
         if entry is not None:
-            # stale if any depended-on known memory changed content
-            if all(
-                hashlib.sha1(self.machine.image.peek(s, e - s)).hexdigest() == h
-                for s, e, h in entry.memory_deps
-            ):
+            if entry.result.ok:
+                # stale if any depended-on known memory changed content
+                if all(
+                    hashlib.sha1(self.machine.image.peek(s, e - s)).hexdigest() == h
+                    for s, e, h in entry.memory_deps
+                ):
+                    self.hits += 1
+                    return entry.result
+                del self._cache[key]
+            elif self.clock() < entry.retry_at:
                 self.hits += 1
+                self.quarantine_hits += 1
+                self.fallbacks += 1
                 return entry.result
-            del self._cache[key]
+            else:
+                self.quarantine_retries += 1
+                retry_of = entry
         self.misses += 1
-        result = rewrite(self.machine, conf, fn, *args)
+        result = self._do_rewrite(conf, fn, *args)
         # conf.known_memory may have grown (PTR_TO_KNOWN registration);
         # re-key on the post-rewrite fingerprint for future lookups
         key = self._key(fn, conf, args)
-        self._cache[key] = _Entry(result, self._memory_deps(conf))
+        if result.ok:
+            self._cache[key] = _Entry(result, self._memory_deps(conf))
+        else:
+            self.fallbacks += 1
+            fail_count = (retry_of.fail_count if retry_of else 0) + 1
+            self._cache[key] = _Entry(
+                result,
+                self._memory_deps(conf),
+                fail_count=fail_count,
+                retry_at=self.clock() + self._backoff(fail_count),
+            )
         return result
 
     def invalidate_memory(self, start: int, end: int) -> int:
         """Drop every cached variant whose known memory overlaps
-        ``[start, end)``; returns how many were dropped."""
+        ``[start, end)`` and bump the epoch (stale guard stubs start
+        falling back to the original); returns how many were dropped."""
         stale = [k for k, e in self._cache.items() if e.overlaps(start, end)]
         for k in stale:
             del self._cache[k]
+        self._bump_epoch()
         return len(stale)
 
     def invalidate_function(self, fn) -> int:
-        """Drop every cached variant of ``fn``."""
+        """Drop every cached variant of ``fn`` and bump the epoch."""
         addr = self.machine.image.resolve(fn)
         stale = [k for k in self._cache if k[0] == addr]
         for k in stale:
             del self._cache[k]
+        self._bump_epoch()
         return len(stale)
+
+    def stats(self) -> dict[str, int]:
+        """Health counters: cache traffic, fallbacks and quarantine.
+
+        ``hits``/``misses`` count cache lookups; ``fallbacks`` counts
+        ``get`` calls that handed back a failed result (cached or
+        fresh); ``quarantine_hits`` are failures served while their
+        backoff window was open, ``quarantine_retries`` re-rewrites
+        after a window expired; ``quarantined`` is the number of failed
+        entries currently cached, ``cached`` the total cache size."""
+        quarantined = sum(1 for e in self._cache.values() if not e.result.ok)
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fallbacks": self.fallbacks,
+            "quarantine_hits": self.quarantine_hits,
+            "quarantine_retries": self.quarantine_retries,
+            "quarantined": quarantined,
+            "cached": len(self._cache),
+            "epoch": self.epoch,
+        }
 
     def __len__(self) -> int:
         return len(self._cache)

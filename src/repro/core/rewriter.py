@@ -17,7 +17,7 @@ import itertools
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError, RewriteFailure
+from repro.errors import MemoryError_, ReproError, RewriteFailure
 from repro.abi.callconv import FLOAT_ARG_REGS, INT_ARG_REGS
 from repro.core.config import Knownness, RewriteConfig
 from repro.core.emit import emit_into_image
@@ -49,6 +49,14 @@ class RewriteResult:
     rewrite_seconds: float = 0.0
     #: Provenance of every emitted instruction (Sec. VIII debugging).
     debug: "DebugMap | None" = None
+    #: Which degradation-ladder rung produced this result (0 = the
+    #: caller's own config; set by the resilience supervisor).
+    ladder_rung: int = 0
+    #: ``(rung_name, failure_reason)`` for every attempt before this one.
+    ladder_attempts: tuple = ()
+    #: True once the differential validation gate compared this variant
+    #: against the original and found no divergence.
+    validated: bool = False
 
     @property
     def entry_or_original(self) -> int:
@@ -118,6 +126,8 @@ def rewrite(machine_or_image, config: RewriteConfig, fn, *args) -> RewriteResult
         entry_world = _build_entry_world(image, config, tuple(args))
         tracer = Tracer(image, config, original)
         tracer._host_addrs = host_addrs
+        if config.deadline_seconds is not None:
+            tracer.deadline = time.monotonic() + config.deadline_seconds
         output = tracer.run(entry_world)
         registry = output.registry
         if config.passes:
@@ -147,11 +157,23 @@ def rewrite(machine_or_image, config: RewriteConfig, fn, *args) -> RewriteResult
             message=str(exc),
             rewrite_seconds=time.perf_counter() - started,
         )
-    except ReproError as exc:
+    except Exception as exc:  # noqa: BLE001 — Sec. III.G: never a crash
+        failure = _wrap_unexpected(exc)
         return RewriteResult(
             ok=False,
             original=original,
-            reason="internal",
-            message=f"{type(exc).__name__}: {exc}",
+            reason=failure.reason,
+            message=str(failure),
             rewrite_seconds=time.perf_counter() - started,
         )
+
+
+def _wrap_unexpected(exc: Exception) -> RewriteFailure:
+    """Convert a non-RewriteFailure escaping the pipeline into a tagged
+    graceful failure.  The paper's robustness property ("it is not
+    catastrophic if the rewriter meets a situation it cannot handle")
+    must hold even for bugs in the rewriter itself — a fault-injection
+    harness asserts no raw traceback ever escapes ``brew_rewrite``."""
+    if isinstance(exc, MemoryError_):
+        return RewriteFailure("memory-fault", f"{type(exc).__name__}: {exc}")
+    return RewriteFailure("internal", f"{type(exc).__name__}: {exc}")

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from time import monotonic as _monotonic
 
 from repro.errors import DecodeError, RewriteFailure
 from repro.abi.callconv import (
@@ -114,6 +115,10 @@ class Tracer:
         #: Lowest stack offset touched; the call-window frame extent.
         self.min_stack = -8
         self._host_addrs: set[int] = set()
+        #: Monotonic-clock instant after which tracing must stop with a
+        #: graceful ``deadline-exceeded`` failure (None = unbounded; set
+        #: by the rewriter from ``config.deadline_seconds``).
+        self.deadline: float | None = None
         #: Runtime-content generation per register (see known.RegSnapshot);
         #: bumped whenever an *emitted* instruction writes the register.
         self.reg_gens: dict = {}
@@ -156,6 +161,16 @@ class Tracer:
             raise RewriteFailure("trace-limit", "max_trace_steps exceeded")
         if self.registry.total_instructions >= self.config.max_output_instructions:
             raise RewriteFailure("buffer-full", "max_output_instructions exceeded")
+        if (
+            self.deadline is not None
+            and (self.stats.traced_instructions & 63) == 0
+            and _monotonic() >= self.deadline
+        ):
+            raise RewriteFailure(
+                "deadline-exceeded",
+                f"wall-clock deadline expired after "
+                f"{self.stats.traced_instructions} traced instructions",
+            )
         try:
             insn = self._decode(self.pc)
         except DecodeError as exc:

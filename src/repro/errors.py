@@ -66,10 +66,57 @@ class RewriteFailure(ReproError):
     Per the paper (Sec. III.G) this is *not catastrophic*: ``brew_rewrite``
     catches it and returns a failed :class:`~repro.core.rewriter.RewriteResult`
     so the caller falls back to the original function.  ``reason`` is a short
-    machine-readable tag (``indirect-jump``, ``decode-error``, ``buffer-full``,
-    ``variant-limit``, ``unsupported-insn``...).
+    machine-readable tag drawn from :data:`FAILURE_REASONS`.
     """
 
     def __init__(self, reason: str, message: str = "") -> None:
         super().__init__(message or reason)
         self.reason = reason
+
+
+#: The complete failure-reason taxonomy.  Every ``RewriteFailure(reason)``
+#: raised anywhere in the package must use a reason listed here, and every
+#: reason listed here must be raised somewhere — a test enforces both
+#: directions, so this table never drifts from the code.  The same reasons
+#: are documented for users in ``docs/REWRITER.md`` ("Failure modes &
+#: recovery").
+FAILURE_REASONS: dict[str, str] = {
+    # -- argument / configuration misuse (not retryable) ------------------
+    "bad-argument": "a rewrite argument was not an int/float, or a "
+                    "PTR_TO_KNOWN pointer targets unmapped memory",
+    "bad-guard": "a guard stub was requested for an unguardable parameter "
+                 "or with an empty case chain",
+    "bad-pass": "an unknown optimization pass name was configured",
+    # -- code the tracer cannot follow ------------------------------------
+    "decode-error": "bytes at the traced pc do not decode to an instruction",
+    "not-executable": "the trace reached a non-executable address",
+    "unsupported-insn": "the decoded instruction has no transfer function",
+    "bad-operand": "an operand form the tracer cannot model",
+    "bad-store": "a value form that cannot be stored to memory",
+    "indirect-jump": "an indirect jump with an unknown target "
+                     "(paper Sec. III.F: the rewrite fails)",
+    "indirect-call": "an indirect call through a frame address",
+    # -- stack-model violations -------------------------------------------
+    "rsp-escape": "rsp left the symbolic stack model (non-StackRel rsp at "
+                  "a push/pop/call/ret)",
+    "stack-imbalance": "the outer return saw rsp away from the entry rsp",
+    "stack-index": "a scaled stack-address index in a memory operand",
+    "stack-rmw": "a StackRel source in a memory read-modify-write",
+    "disp-overflow": "a folded displacement does not fit rel32/disp32",
+    # -- known-value semantics --------------------------------------------
+    "div-by-zero": "a fully-known division by zero was traced",
+    # -- resource budgets (retryable at a more conservative rung) ---------
+    "trace-limit": "max_trace_steps exceeded while tracing",
+    "buffer-full": "max_output_instructions exceeded (paper Sec. III.G: "
+                   "'when buffers run out of space')",
+    "deadline-exceeded": "the per-attempt wall-clock deadline expired",
+    # -- emission ----------------------------------------------------------
+    "encode-error": "emitted instructions could not be encoded or laid out",
+    # -- post-rewrite checks ----------------------------------------------
+    "validation-failed": "the differential validation gate observed the "
+                         "specialized variant diverging from the original",
+    # -- catch-all for unexpected internal errors -------------------------
+    "memory-fault": "a memory access inside the rewriter itself faulted",
+    "internal": "an unexpected internal error was converted to a graceful "
+                "failure (never a raw traceback)",
+}

@@ -46,4 +46,6 @@ def exp7_domainmap(nelems: int = 256, nnodes: int = 4) -> Experiment:
               after_redist.cycles < generic_cyclic.cycles)
     exp.check("two specializations were generated (one per distribution)",
               rt.respecialize_count == 2)
+    exp.health = dict(rt.supervisor.stats(), respecializations=rt.respecialize_count,
+                      respecialize_fallbacks=rt.fallback_count)
     return exp

@@ -35,6 +35,10 @@ class Experiment:
     rows: list[Row] = field(default_factory=list)
     checks: list[ShapeCheck] = field(default_factory=list)
     listing: str = ""  # for figure-style experiments (EXP-2)
+    #: Rewrite-health counters for the run (supervisor/manager ``stats()``
+    #: merged by the experiment): attempts, ladder recoveries, validation
+    #: failures, fallbacks... rendered as a footer by :func:`format_table`.
+    health: dict = field(default_factory=dict)
 
     @property
     def all_checks_hold(self) -> bool:
@@ -75,5 +79,13 @@ def format_table(exp: Experiment) -> str:
         lines.append("")
         for c in exp.checks:
             lines.append(f"   [{'ok' if c.holds else 'FAIL'}] {c.description}")
+    if exp.health:
+        rewrites = exp.health.get("rewrites", 0)
+        fallbacks = exp.health.get("fallbacks", 0)
+        rate = f"{fallbacks / rewrites:.0%}" if rewrites else "n/a"
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(exp.health.items()))
+        lines.append("")
+        lines.append(f"   rewrite health: {pairs}")
+        lines.append(f"   fallback rate: {rate}")
     lines.append("")
     return "\n".join(lines)

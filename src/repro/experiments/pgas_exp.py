@@ -50,4 +50,5 @@ def exp6_pgas(nelems: int = 512, nnodes: int = 4) -> Experiment:
               manual.cycles < via_kernel.cycles)
     exp.check("remote surcharge clearly visible on remote ranges",
               remote.cycles > 1.5 * g)
+    exp.health = lab.supervisor.stats()
     return exp

@@ -63,6 +63,7 @@ def exp1_specialize(xs: int = 24, ys: int = 24, iters: int = 2) -> Experiment:
         "compiler-inlined same-unit is the fastest",
         m["compiler-inlined"] == min(m.values()),
     )
+    exp.health = lab.supervisor.stats()
     return exp
 
 

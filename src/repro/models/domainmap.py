@@ -25,8 +25,9 @@ from __future__ import annotations
 import struct
 
 from repro.core import (
-    BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setpar,
+    BREW_PTR_TO_KNOWN, brew_init_conf, brew_setpar,
 )
+from repro.core.resilience import RewriteSupervisor
 from repro.core.rewriter import RewriteResult
 from repro.machine.cpu import RunResult
 from repro.machine.vm import Machine
@@ -125,6 +126,11 @@ class DomainMapRuntime:
         self._install(self.machine.symbol("dm_read"))
         self.specialized: RewriteResult | None = None
         self.respecialize_count = 0
+        #: Respecializations that terminally failed (slot kept on the
+        #: original accessor) — the runtime's fallback-rate numerator.
+        self.fallback_count = 0
+        #: Supervised rewrites: ladder + differential validation.
+        self.supervisor = RewriteSupervisor(self.machine, validation_vectors=2)
 
     # ----------------------------------------------------------- plumbing
     def _write_descriptor(self) -> None:
@@ -165,10 +171,12 @@ class DomainMapRuntime:
         the dispatch slot (transparent to user code)."""
         conf = brew_init_conf()
         brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)
-        result = brew_rewrite(self.machine, conf, "dm_read", self.dm_addr, 0)
+        result = self.supervisor.rewrite(conf, "dm_read", self.dm_addr, 0)
         self._install(result.entry_or_original)
         if result.ok:
             self.specialized = result
+        else:
+            self.fallback_count += 1
         self.respecialize_count += 1
         return result
 

@@ -31,8 +31,9 @@ from __future__ import annotations
 import struct
 
 from repro.core import (
-    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setpar,
+    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_setpar,
 )
+from repro.core.resilience import RewriteSupervisor
 from repro.core.rewriter import RewriteResult
 from repro.isa.costs import CostModel
 from repro.machine.cpu import RunResult
@@ -135,6 +136,9 @@ class PgasLab:
             "<7q", nelems, nnodes, self.block, 0, self.local_base,
             self.remote_base, self.remote_stride,
         ))
+        #: Rewrites are supervised: ladder degradation on failure, then
+        #: differential validation of every variant before handing it out.
+        self.supervisor = RewriteSupervisor(self.machine, validation_vectors=2)
         self.fill()
 
     # ------------------------------------------------------------- data
@@ -183,7 +187,7 @@ class PgasLab:
         conf = brew_init_conf()
         brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)
         conf.passes = passes
-        return brew_rewrite(self.machine, conf, "ga_get", self.ga_addr, 0)
+        return self.supervisor.rewrite(conf, "ga_get", self.ga_addr, 0)
 
     def rewrite_kernel(self, passes: tuple[str, ...] = ()) -> RewriteResult:
         """Specialize the whole reduction kernel: descriptor known,
@@ -192,7 +196,7 @@ class PgasLab:
         brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)
         brew_setpar(conf, 4, BREW_KNOWN)
         conf.passes = passes
-        return brew_rewrite(
-            self.machine, conf, "ga_sum_range",
+        return self.supervisor.rewrite(
+            conf, "ga_sum_range",
             self.ga_addr, 0, 0, self.machine.symbol("ga_get"),
         )

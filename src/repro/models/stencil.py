@@ -24,9 +24,9 @@ import struct
 from dataclasses import dataclass
 
 from repro.core import (
-    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setfunc,
-    brew_setpar,
+    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_setfunc, brew_setpar,
 )
+from repro.core.resilience import RewriteSupervisor
 from repro.core.rewriter import RewriteResult
 from repro.isa.costs import CostModel
 from repro.machine.cpu import RunResult
@@ -211,6 +211,10 @@ class StencilLab:
         image.poke(self.s_addr, self.spec.pack())
         self.sg_addr = image.malloc(len(self.spec.pack_grouped()))
         image.poke(self.sg_addr, self.spec.pack_grouped())
+        #: Every rewrite goes through the resilience supervisor: failed
+        #: attempts degrade down the ladder and successful variants are
+        #: differentially validated before being handed out.
+        self.supervisor = RewriteSupervisor(self.machine, validation_vectors=1)
         self.reset_matrices()
 
     # ---------------------------------------------------------- matrices
@@ -317,7 +321,11 @@ class StencilLab:
         conf.deferred_spills = deferred_spills
         target = "apply_grouped" if grouped else "apply"
         s_addr = self.sg_addr if grouped else self.s_addr
-        return brew_rewrite(self.machine, conf, target, 0, self.xs, s_addr)
+        # the matrix pointer is unknown, so its traced value is free: an
+        # interior point makes the validation gate actually execute the
+        # stencil instead of skipping every fault-on-null vector
+        m_example = self.m1 + 8 * (self.xs + 1)
+        return self.supervisor.rewrite(conf, target, m_example, self.xs, s_addr)
 
     def rewrite_sweep(
         self,
@@ -339,9 +347,8 @@ class StencilLab:
         conf.variant_threshold = variant_threshold
         conf.passes = passes
         fn = apply_addr if apply_addr is not None else self.machine.symbol("apply")
-        return brew_rewrite(
-            self.machine, conf, "sweep", self.m1, self.m2, self.xs, self.ys,
-            self.s_addr, fn,
+        return self.supervisor.rewrite(
+            conf, "sweep", self.m1, self.m2, self.xs, self.ys, self.s_addr, fn,
         )
 
     # ------------------------------------------------------------ oracle

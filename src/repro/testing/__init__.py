@@ -1,0 +1,24 @@
+"""Test-support utilities: fault injection for the rewriter pipeline.
+
+Nothing in this package is used by the rewriter itself; it exists so the
+test suite (and CI's fault-injection smoke job) can prove the paper's
+Sec. III.G robustness property *mechanically* — every induced failure
+anywhere in the pipeline must surface as a tagged failed
+``RewriteResult``, never as a raw traceback.
+"""
+
+from repro.testing.faultinject import (
+    EXPECTED_REASON,
+    FAULT_KINDS,
+    FaultInjector,
+    inject_fault,
+    plan_faults,
+)
+
+__all__ = [
+    "EXPECTED_REASON",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "inject_fault",
+    "plan_faults",
+]

@@ -1,0 +1,204 @@
+"""Seeded fault injection for the rewrite pipeline.
+
+The paper's robustness claim (Sec. III.G: "it is not catastrophic if the
+rewriter meets a situation it cannot handle") is easy to state and easy
+to regress.  This module makes it testable: :class:`FaultInjector`
+monkeypatches one well-defined seam of the pipeline so that the Nth call
+through it fails, and the test asserts that ``brew_rewrite`` still
+returns a *tagged* failed result — the documented reason for that fault
+class, never an escaping exception.
+
+Four fault classes cover the pipeline end to end:
+
+``decode``
+    The instruction decoder raises :class:`~repro.errors.DecodeError`
+    mid-trace (corrupt code bytes) → reason ``decode-error``.
+``memory``
+    The memory system raises :class:`~repro.errors.SegmentationFault`
+    on an access (unmapped address reached while tracing) → reason
+    ``memory-fault``.
+``emit``
+    Program encoding raises :class:`~repro.errors.EncodingError` while
+    laying out the specialized code → reason ``encode-error``.
+``pass``
+    An optimization pass raises an arbitrary ``RuntimeError`` (a bug in
+    the pass itself) → reason ``internal``.
+
+Injection sites are patched for the dynamic extent of the context
+manager only and restored unconditionally; injectors are reusable but
+not reentrant.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import DecodeError, EncodingError, SegmentationFault
+
+#: All supported fault classes, in pipeline order.
+FAULT_KINDS = ("decode", "memory", "emit", "pass")
+
+#: The documented ``RewriteResult.reason`` each injected fault class must
+#: surface as (the taxonomy lives in :data:`repro.errors.FAILURE_REASONS`).
+EXPECTED_REASON = {
+    "decode": "decode-error",
+    "memory": "memory-fault",
+    "emit": "encode-error",
+    "pass": "internal",
+}
+
+#: Marker embedded in every injected exception message so tests can tell
+#: an injected fault from an organic one.
+INJECTED_MARK = "injected-fault"
+
+
+class FaultInjector:
+    """Context manager that fails one pipeline seam at the Nth call.
+
+    ``kind`` selects the seam (see module docstring); ``nth`` is the
+    1-based call number at which the fault fires.  After the ``with``
+    block, ``calls`` holds how many times the seam was exercised and
+    ``fired`` whether the fault actually triggered — a test that injects
+    at ``nth=5`` into a trace that only decodes 3 instructions should
+    notice the miss instead of silently passing.
+    """
+
+    def __init__(self, kind: str, nth: int = 1) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if nth < 1:
+            raise ValueError("nth is 1-based")
+        self.kind = kind
+        self.nth = nth
+        self.calls = 0
+        self.fired = False
+        self._restore = None
+
+    # ----------------------------------------------------------- plumbing
+    def _tick(self) -> bool:
+        """Count one call through the seam; True when the fault fires."""
+        self.calls += 1
+        if self.calls == self.nth:
+            self.fired = True
+            return True
+        return False
+
+    def __enter__(self) -> "FaultInjector":
+        if self._restore is not None:
+            raise RuntimeError("FaultInjector is not reentrant")
+        self.calls = 0
+        self.fired = False
+        install = getattr(self, f"_install_{self.kind}")
+        self._restore = install()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        restore, self._restore = self._restore, None
+        if restore is not None:
+            restore()
+
+    # -------------------------------------------------------------- seams
+    def _install_decode(self):
+        """Patch the tracer's view of :func:`repro.isa.encoding.decode`."""
+        import repro.core.tracer as tracer_mod
+
+        real = tracer_mod.decode
+
+        def faulty_decode(buf, addr=0, offset=0):
+            """Injected: fail decode at the Nth decoded instruction."""
+            if self._tick():
+                raise DecodeError(f"{INJECTED_MARK}: decode", addr)
+            return real(buf, addr, offset)
+
+        tracer_mod.decode = faulty_decode
+
+        def restore():
+            tracer_mod.decode = real
+
+        return restore
+
+    def _install_memory(self):
+        """Patch :meth:`repro.machine.memory.Memory.segment_for`, the
+        funnel every typed read/write resolves through."""
+        from repro.machine.memory import Memory
+
+        real = Memory.segment_for
+
+        def faulty_segment_for(mem, addr, length=1):
+            """Injected: fault the Nth memory-access resolution."""
+            if self._tick():
+                raise SegmentationFault(f"{INJECTED_MARK}: memory", addr)
+            return real(mem, addr, length)
+
+        Memory.segment_for = faulty_segment_for
+
+        def restore():
+            Memory.segment_for = real
+
+        return restore
+
+    def _install_emit(self):
+        """Patch the emitter's view of ``encode_program``."""
+        import repro.core.emit as emit_mod
+
+        real = emit_mod.encode_program
+
+        def faulty_encode(items, base_addr, extra_labels=None):
+            """Injected: fail the Nth program-encoding attempt."""
+            if self._tick():
+                raise EncodingError(f"{INJECTED_MARK}: emit")
+            return real(items, base_addr, extra_labels=extra_labels)
+
+        emit_mod.encode_program = faulty_encode
+
+        def restore():
+            emit_mod.encode_program = real
+
+        return restore
+
+    def _install_pass(self):
+        """Patch the pass loader so the loaded pass function crashes with
+        an arbitrary (non-Repro) exception at its Nth block."""
+        import repro.core.passes.pipeline as pipeline_mod
+
+        real = pipeline_mod._load_pass
+
+        def faulty_load(name):
+            """Injected: wrap the real pass in an Nth-call crasher."""
+            fn = real(name)
+
+            def crashing_pass(insns, image):
+                """Injected wrapper: crash at the Nth block."""
+                if self._tick():
+                    raise RuntimeError(f"{INJECTED_MARK}: pass {name!r}")
+                return fn(insns, image)
+
+            return crashing_pass
+
+        pipeline_mod._load_pass = faulty_load
+
+        def restore():
+            pipeline_mod._load_pass = real
+
+        return restore
+
+
+def inject_fault(kind: str, nth: int = 1) -> FaultInjector:
+    """Convenience alias: ``with inject_fault("decode", nth=3): ...``."""
+    return FaultInjector(kind, nth)
+
+
+def plan_faults(
+    seed: int, *, kinds: tuple[str, ...] = FAULT_KINDS, rounds: int = 1, max_nth: int = 6
+) -> Iterator[FaultInjector]:
+    """A seeded campaign: for each round and each kind, yield an injector
+    with a pseudo-random Nth-call position in ``[1, max_nth]``.
+
+    Deterministic for a given seed, so a failing campaign is replayable
+    by number.
+    """
+    rng = random.Random(seed)
+    for _ in range(rounds):
+        for kind in kinds:
+            yield FaultInjector(kind, rng.randint(1, max_nth))

@@ -1,0 +1,54 @@
+"""The failure-reason taxonomy may not drift.
+
+Three-way consistency between the code (every ``RewriteFailure(reason)``
+literal under ``src/``), the registry (``repro.errors.FAILURE_REASONS``)
+and the user docs (``docs/REWRITER.md``): no undocumented reasons, no
+dead documented ones."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import FAILURE_REASONS
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOCS = REPO / "docs" / "REWRITER.md"
+
+#: Matches the reason literal of a RewriteFailure construction; ``\s*``
+#: spans newlines, so multi-line call sites are covered too.
+RAISE_PATTERN = re.compile(r"""RewriteFailure\(\s*["']([a-z0-9-]+)["']""")
+
+
+def raised_reasons() -> set[str]:
+    """Every reason constructed anywhere under src/."""
+    reasons: set[str] = set()
+    for path in SRC.rglob("*.py"):
+        reasons |= set(RAISE_PATTERN.findall(path.read_text()))
+    return reasons
+
+
+def test_every_raised_reason_is_registered():
+    """No RewriteFailure may use a reason missing from FAILURE_REASONS."""
+    undocumented = raised_reasons() - set(FAILURE_REASONS)
+    assert not undocumented, f"undocumented failure reasons: {sorted(undocumented)}"
+
+
+def test_every_registered_reason_is_raised():
+    """FAILURE_REASONS may not accumulate dead entries."""
+    dead = set(FAILURE_REASONS) - raised_reasons()
+    assert not dead, f"documented but never raised: {sorted(dead)}"
+
+
+def test_docs_cover_every_reason():
+    """docs/REWRITER.md must mention each reason as `reason` literal."""
+    text = DOCS.read_text()
+    missing = [r for r in FAILURE_REASONS if f"`{r}`" not in text]
+    assert not missing, f"reasons missing from docs/REWRITER.md: {missing}"
+
+
+def test_registry_descriptions_are_nonempty():
+    """Each taxonomy entry carries a human-readable description."""
+    for reason, description in FAILURE_REASONS.items():
+        assert description.strip(), f"empty description for {reason!r}"
