@@ -47,6 +47,7 @@ from repro.core.rewriter import RewriteResult, rewrite
 from repro.core.api import (
     brew_init_conf,
     brew_rewrite,
+    brew_setdynamic,
     brew_setfunc,
     brew_setmem,
     brew_setpar,
@@ -57,6 +58,6 @@ __all__ = [
     "BREW_KNOWN", "BREW_PTR_TO_KNOWN", "BREW_UNKNOWN",
     "RewriteConfig", "FunctionConfig", "RewriteResult", "rewrite",
     "brew_init_conf", "brew_setpar", "brew_setmem", "brew_setfunc",
-    "brew_rewrite",
+    "brew_setdynamic", "brew_rewrite",
     "RewriteSupervisor", "supervised_rewrite", "validate_variant",
 ]

@@ -46,6 +46,15 @@ def brew_setmem(
     conf.add_known_memory(start, end)
 
 
+def brew_setdynamic(conf: RewriteConfig, addr: int) -> None:
+    """``brew_setdynamic``: keep the 8-byte cell at ``addr`` dynamic even
+    inside a known range — ``makeDynamic`` for data.  A load from the
+    cell is emitted (not folded), so a runtime flag guarding a fast path
+    (e.g. a halo-mirror validity bit) keeps its compare live in the
+    specialized variant and can redirect it in one compare."""
+    conf.mark_dynamic_cell(addr)
+
+
 def brew_setfunc(conf: RewriteConfig, fn_addr: int | None = None, **options) -> None:
     """Set per-function options: ``inline=False``,
     ``force_unknown_results=True``, ``conditionals_unknown=True``...

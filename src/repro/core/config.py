@@ -95,6 +95,14 @@ class RewriteConfig:
     #: Addresses of ``makeDynamic``-style identity functions whose result
     #: must always be treated as unknown (paper Sec. V.C).
     dynamic_markers: set[int] = field(default_factory=set)
+    #: Addresses of 8-byte cells that must stay *dynamic* even when they
+    #: fall inside a known-memory range: loads from them are emitted, not
+    #: folded.  This is ``makeDynamic`` for data — a descriptor flag
+    #: (e.g. the distributed stencil's ``haloavail``) marked here keeps
+    #: its guard compare live in the specialized variant, so flipping the
+    #: cell at runtime redirects the variant in one compare instead of
+    #: requiring a re-specialization.
+    dynamic_cells: set[int] = field(default_factory=set)
     #: Run the post-capture optimization pass pipeline (extensions beyond
     #: the paper's prototype, which had none).
     passes: tuple[str, ...] = ()
@@ -132,6 +140,7 @@ class RewriteConfig:
             deadline_seconds=self.deadline_seconds,
             inline_default=self.inline_default,
             dynamic_markers=set(self.dynamic_markers),
+            dynamic_cells=set(self.dynamic_cells),
             passes=self.passes,
             deferred_spills=self.deferred_spills,
             entry_hook=self.entry_hook,
@@ -158,5 +167,12 @@ class RewriteConfig:
             raise ValueError("empty known-memory range")
         self.known_memory.append((start, end))
 
+    def mark_dynamic_cell(self, addr: int) -> None:
+        """Force the 8-byte cell at ``addr`` to stay dynamic: loads from
+        it are emitted even when a known range covers it."""
+        self.dynamic_cells.add(addr)
+
     def memory_is_known(self, addr: int, size: int = 8) -> bool:
+        if any(c < addr + size and addr < c + 8 for c in self.dynamic_cells):
+            return False
         return any(s <= addr and addr + size <= e for s, e in self.known_memory)

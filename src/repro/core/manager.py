@@ -59,6 +59,7 @@ def _config_fingerprint(conf: RewriteConfig) -> tuple:
         conf.inline_default,
         conf.passes,
         tuple(sorted(conf.dynamic_markers)),
+        tuple(sorted(conf.dynamic_cells)),
     )
 
 

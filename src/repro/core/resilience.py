@@ -286,6 +286,7 @@ class RewriteSupervisor:
         deadline_seconds: float | None = None,
         max_trace_steps: int | None = None,
         max_output_instructions: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.machine = machine
         self.ladder = tuple(ladder)
@@ -296,6 +297,10 @@ class RewriteSupervisor:
         self.deadline_seconds = deadline_seconds
         self.max_trace_steps = max_trace_steps
         self.max_output_instructions = max_output_instructions
+        #: Clock the per-attempt deadlines are measured against —
+        #: injectable, like :class:`~repro.core.manager.SpecializationManager`'s
+        #: quarantine clock, so deadline-expiry tests are deterministic.
+        self.clock = clock
         self._stats = {
             "rewrites": 0,            # supervised rewrite() calls
             "attempts": 0,            # individual brew_rewrite attempts
@@ -359,7 +364,11 @@ class RewriteSupervisor:
                 rung.apply(rung_conf)
             rung_name = "base" if rung_index == 0 else self.ladder[rung_index - 1].name
             self._stats["attempts"] += 1
-            result = rewrite(self.machine, rung_conf, fn, *args)
+            # pass the clock only when one was injected: rewrite() defaults
+            # to the real monotonic clock, and test doubles that substitute
+            # rewrite() need not grow a clock parameter
+            clock_kw = {} if self.clock is time.monotonic else {"clock": self.clock}
+            result = rewrite(self.machine, rung_conf, fn, *args, **clock_kw)
             if result.ok:
                 mismatch = self._gate(rung_conf, result, tuple(args))
                 if mismatch is None:

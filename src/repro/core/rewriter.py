@@ -107,11 +107,17 @@ def _register_pointed_to(image: Image, config: RewriteConfig, ptr: int) -> None:
     config.add_known_memory(ptr, end)
 
 
-def rewrite(machine_or_image, config: RewriteConfig, fn, *args) -> RewriteResult:
+def rewrite(
+    machine_or_image, config: RewriteConfig, fn, *args, clock=None
+) -> RewriteResult:
     """Rewrite the function at ``fn`` (symbol name or address).
 
     ``args`` are the example parameters driving the trace, exactly like
-    the trailing arguments of the paper's ``brew_rewrite``.
+    the trailing arguments of the paper's ``brew_rewrite``.  ``clock``
+    (a ``() -> float`` monotonic source) governs the
+    ``config.deadline_seconds`` budget; the default is the real
+    monotonic clock, and supervisors inject a fake one in tests so
+    deadline expiry is deterministic.
     """
     # accept a Machine facade or a bare Image
     image: Image = getattr(machine_or_image, "image", machine_or_image)
@@ -126,8 +132,10 @@ def rewrite(machine_or_image, config: RewriteConfig, fn, *args) -> RewriteResult
         entry_world = _build_entry_world(image, config, tuple(args))
         tracer = Tracer(image, config, original)
         tracer._host_addrs = host_addrs
+        if clock is not None:
+            tracer.clock = clock
         if config.deadline_seconds is not None:
-            tracer.deadline = time.monotonic() + config.deadline_seconds
+            tracer.deadline = tracer.clock() + config.deadline_seconds
         output = tracer.run(entry_world)
         registry = output.registry
         if config.passes:

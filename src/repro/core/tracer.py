@@ -119,6 +119,13 @@ class Tracer:
         #: graceful ``deadline-exceeded`` failure (None = unbounded; set
         #: by the rewriter from ``config.deadline_seconds``).
         self.deadline: float | None = None
+        #: The clock the deadline is measured against.  Injectable (the
+        #: rewriter threads its caller's clock through) so deadline-expiry
+        #: tests are deterministic instead of wall-clock races.
+        self.clock = _monotonic
+        #: Scratch cell for the memory-hook rdi save (lazily allocated;
+        #: see _maybe_memory_hook for why it is not a stack slot).
+        self._hook_scratch: int | None = None
         #: Runtime-content generation per register (see known.RegSnapshot);
         #: bumped whenever an *emitted* instruction writes the register.
         self.reg_gens: dict = {}
@@ -164,7 +171,7 @@ class Tracer:
         if (
             self.deadline is not None
             and (self.stats.traced_instructions & 63) == 0
-            and _monotonic() >= self.deadline
+            and self.clock() >= self.deadline
         ):
             raise RewriteFailure(
                 "deadline-exceeded",
@@ -1508,16 +1515,20 @@ class Tracer:
             mem.disp & MASK64, 8
         ):
             return
-        frame = (-self.min_stack + 15) & ~15
-        adjusted = mem
-        if mem.base is GPR.RSP:
-            adjusted = Mem(mem.base, mem.index, mem.scale, mem.disp + frame)
-        self.emit(ins(Op.SUB, Reg(GPR.RSP), Imm(frame), note="hook"))
-        self.emit(ins(Op.MOV, Mem(GPR.RSP), Reg(GPR.RDI), note="hook"))
-        self.emit(ins(Op.LEA, Reg(GPR.RDI), adjusted, note="hook"))
+        # rdi is saved in an absolute scratch cell, NOT on the stack: the
+        # emitted code keeps locals red-zone style below rsp, and
+        # ``min_stack`` is only a running estimate at this point of the
+        # trace — a stack-relative save sized from it can land on a spill
+        # slot the rest of the trace allocates later.  (Host CALLs are
+        # intercepted before the return-address push, so the call itself
+        # never touches the guest stack.)
+        if self._hook_scratch is None:
+            self._hook_scratch = self.image.malloc(8)
+        scratch = Mem(None, None, 1, self._hook_scratch)
+        self.emit(ins(Op.MOV, scratch, Reg(GPR.RDI), note="hook"))
+        self.emit(ins(Op.LEA, Reg(GPR.RDI), mem, note="hook"))
         self.emit(ins(Op.CALL, Imm(hook), note="hook"))
-        self.emit(ins(Op.MOV, Reg(GPR.RDI), Mem(GPR.RSP), note="hook"))
-        self.emit(ins(Op.ADD, Reg(GPR.RSP), Imm(frame), note="hook"))
+        self.emit(ins(Op.MOV, Reg(GPR.RDI), scratch, note="hook"))
         # the handler preserves machine state, but emit() already bumped
         # the snapshot generations for the call conservatively; the world
         # itself is unchanged *except* rdi, which the sequence restores —

@@ -115,6 +115,16 @@ FAILURE_REASONS: dict[str, str] = {
     # -- post-rewrite checks ----------------------------------------------
     "validation-failed": "the differential validation gate observed the "
                          "specialized variant diverging from the original",
+    # -- interconnect faults (distributed runtime; tagged on a failed
+    #    TransferReport by machine.link, never raised past the manager) ---
+    "link-drop": "an interconnect bulk transfer was dropped on every "
+                 "retry attempt",
+    "link-corrupt": "a bulk transfer arrived with a checksum mismatch on "
+                    "every retry attempt",
+    "link-delay": "a bulk transfer exceeded its per-attempt timeout on "
+                  "every retry attempt",
+    "link-partition": "the peer is unreachable: its link is partitioned "
+                      "or its circuit breaker is open",
     # -- catch-all for unexpected internal errors -------------------------
     "memory-fault": "a memory access inside the rewriter itself faulted",
     "internal": "an unexpected internal error was converted to a graceful "

@@ -16,6 +16,7 @@ from repro.experiments.domainmap_exp import exp7_domainmap
 from repro.experiments.profile_exp import exp8_value_profile
 from repro.experiments.rdma_exp import ext1_rdma_prefetch
 from repro.experiments.dstencil_exp import ext2_distributed_stencil
+from repro.experiments.chaos_exp import ext3_chaos
 from repro.experiments.ablations import (
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
@@ -24,7 +25,7 @@ from repro.experiments.ablations import (
 ALL_EXPERIMENTS = (
     exp1_specialize, exp2_listing, exp3_grouped, exp4_call_overhead,
     exp5_makedynamic, exp6_pgas, exp7_domainmap, exp8_value_profile,
-    ext1_rdma_prefetch, ext2_distributed_stencil,
+    ext1_rdma_prefetch, ext2_distributed_stencil, ext3_chaos,
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
 )

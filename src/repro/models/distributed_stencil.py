@@ -29,11 +29,13 @@ import struct
 from dataclasses import dataclass
 
 from repro.core import (
-    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setpar,
+    BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setdynamic,
+    brew_setpar,
 )
 from repro.core.rewriter import RewriteResult
 from repro.machine.cpu import RunResult
 from repro.machine.image import LAYOUT
+from repro.machine.link import TransferManager, TransferReport
 from repro.machine.vm import Machine
 from repro.models.stencil import StencilSpec
 
@@ -125,6 +127,17 @@ class SweepOutcome:
         return self.run.cycles + self.extra_cycles
 
 
+@dataclass
+class EpochOutcome:
+    """One :meth:`DistributedStencilLab.run_resilient` epoch: the sweep
+    plus how the halo exchange over the unreliable interconnect went."""
+
+    outcome: SweepOutcome
+    path: str  # "halo" | "remote-fallback"
+    transfer_attempts: int
+    failures: tuple[str, ...]  # taxonomy reasons of failed transfers
+
+
 class DistributedStencilLab:
     """Node-0's view of the distributed stencil computation."""
 
@@ -162,6 +175,10 @@ class DistributedStencilLab:
         self.dg_addr = image.malloc(8 * _DG_FIELDS)
         self._write_descriptor(halo_avail=False)
         self.fill()
+        self.transfers: TransferManager | None = None
+        self._guarded: RewriteResult | None = None
+        self.promotions = 0
+        self.fallbacks = 0
 
     # ------------------------------------------------------------- set-up
     def _write_descriptor(self, halo_avail: bool) -> None:
@@ -284,3 +301,115 @@ class DistributedStencilLab:
         outcome = self.run_rewritten(result)
         outcome.extra_cycles = cost
         return outcome, result
+
+    # ------------------------------------------------------- resilient path
+    @property
+    def haloavail_addr(self) -> int:
+        """Address of the descriptor's ``haloavail`` flag (field 9)."""
+        return self.dg_addr + 64
+
+    def set_halo_avail(self, avail: bool) -> None:
+        """Flip the runtime halo-validity flag the guarded sweep tests."""
+        self.machine.image.poke(
+            self.haloavail_addr, struct.pack("<q", 1 if avail else 0)
+        )
+
+    def attach_interconnect(
+        self,
+        *,
+        faults=None,
+        seed: int = 0,
+        **options,
+    ) -> TransferManager:
+        """Route halo exchanges through an unreliable interconnect; the
+        returned manager is also stored on ``self.transfers``."""
+        self.transfers = TransferManager(
+            self.machine, faults=faults, seed=seed, **options
+        )
+        return self.transfers
+
+    def rewrite_sweep_guarded(self, memory_hook: int | None = None) -> RewriteResult:
+        """The degradation-ready sweep: like ``rewrite_sweep(halo=True)``
+        but with the descriptor's ``haloavail`` cell marked *dynamic*
+        (``brew_setdynamic`` — "makeDynamic for data"), so the variant
+        keeps the ``if (g->haloavail)`` compare live.  One specialized
+        kernel then serves both paths at runtime: flag set → halo mirror
+        (zero remote traffic); flag clear → per-access remote path
+        (correct but surcharged).  Degrading is one flag write, not a
+        respecialization — the graceful-fallback story of Sec. III.G
+        applied to data instead of code."""
+        self._write_descriptor(halo_avail=True)
+        conf = brew_init_conf()
+        brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)   # descriptor
+        brew_setpar(conf, 3, BREW_PTR_TO_KNOWN)   # stencil
+        brew_setpar(conf, 4, BREW_KNOWN)          # accessor pointer
+        conf.set_function(None, force_unknown_results=True)
+        brew_setdynamic(conf, self.haloavail_addr)
+        if memory_hook is not None:
+            conf.memory_hook = memory_hook
+        return brew_rewrite(
+            self.machine, conf, "dg_sweep",
+            self.dg_addr, self.out, self.s_addr, self.machine.symbol("dg_get"),
+        )
+
+    def exchange_halo_resilient(self) -> tuple[int, list[TransferReport]]:
+        """Exchange halos through the unreliable interconnect.  Each
+        neighbour row is one managed transfer to its owner's link; only
+        checksum-verified rows land in the mirror."""
+        if self.transfers is None:
+            raise RuntimeError("exchange_halo_resilient requires attach_interconnect")
+        first = self.myrank * self.rowblock
+        row_bytes = self.xs * 8
+        cost = 0
+        reports: list[TransferReport] = []
+        wanted = []
+        if first - 1 >= 0:
+            wanted.append((first - 1, self.halo))
+        last = first + self.rowblock
+        if last <= self.ys - 1:
+            wanted.append((last, self.halo + row_bytes))
+        for y, dst in wanted:
+            owner = y // self.rowblock
+            report = self.transfers.transfer(
+                owner, self.row_address(y), dst, row_bytes
+            )
+            reports.append(report)
+            cost += report.cycles
+        return cost, reports
+
+    def run_resilient(self) -> EpochOutcome:
+        """One fault-tolerant epoch: attempt the halo exchange, set the
+        ``haloavail`` flag to match, run the *guarded* sweep.  A failed
+        exchange (or an open breaker) degrades to the per-access remote
+        path inside the same specialized kernel; the next epoch retries
+        the exchange, so the model re-promotes itself once the breaker
+        half-opens and the network delivers again.  Never raises for
+        interconnect faults and the output is correct on every path."""
+        if self.transfers is None:
+            raise RuntimeError("run_resilient requires attach_interconnect")
+        if self._guarded is None:
+            self._guarded = self.rewrite_sweep_guarded()
+        cost, reports = self.exchange_halo_resilient()
+        failures = tuple(r.reason for r in reports if not r.ok)
+        halo_ok = bool(reports) and all(r.ok for r in reports)
+        self.set_halo_avail(halo_ok)
+        try:
+            if self._guarded.ok:
+                outcome = self.run_rewritten(self._guarded)
+            else:
+                # graceful ladder: guarded specialization failed, the
+                # generic accessor-pointer sweep is always available
+                outcome = self.run_generic()
+            outcome.extra_cycles = cost
+            if halo_ok:
+                self.promotions += 1
+                path = "halo"
+            else:
+                self.fallbacks += 1
+                path = "remote-fallback"
+            return EpochOutcome(
+                outcome, path,
+                sum(r.attempts for r in reports), failures,
+            )
+        finally:
+            self.transfers.advance_epoch()

@@ -139,7 +139,23 @@ class PgasLab:
         #: Rewrites are supervised: ladder degradation on failure, then
         #: differential validation of every variant before handing it out.
         self.supervisor = RewriteSupervisor(self.machine, validation_vectors=2)
+        #: Optional unreliable-interconnect model for bulk transfers
+        #: (see :meth:`attach_interconnect`); None means a perfect network.
+        self.transfers = None
         self.fill()
+
+    def attach_interconnect(self, *, faults=None, seed: int = 0, **options):
+        """Route bulk transfers (e.g. :class:`~repro.models.rdma.
+        RdmaPrefetcher` preloads) through a seeded *unreliable*
+        interconnect: a :class:`~repro.machine.link.TransferManager` with
+        checksums, retry/backoff and per-link circuit breakers.  Stored
+        on ``self.transfers`` and returned."""
+        from repro.machine.link import TransferManager
+
+        self.transfers = TransferManager(
+            self.machine, faults=faults, seed=seed, **options
+        )
+        return self.transfers
 
     # ------------------------------------------------------------- data
     def element_address(self, i: int) -> int:

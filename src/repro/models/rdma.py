@@ -29,6 +29,7 @@ from repro.core import (
     BREW_KNOWN, BREW_PTR_TO_KNOWN, brew_init_conf, brew_rewrite, brew_setpar,
 )
 from repro.machine.cpu import RunResult
+from repro.machine.link import TransferManager, TransferReport
 from repro.models.pgas import PgasLab
 
 #: Simulated RDMA bulk-transfer cost: startup + per 8-byte element.
@@ -51,10 +52,22 @@ class PrefetchPlan:
 
 
 class RdmaPrefetcher:
-    """Detect → preload → redirect, on top of a :class:`PgasLab`."""
+    """Detect → preload → redirect, on top of a :class:`PgasLab`.
 
-    def __init__(self, lab: PgasLab) -> None:
+    With ``transfers`` attached (a :class:`TransferManager`), the bulk
+    copies additionally go through the *unreliable* interconnect model:
+    checksummed, retried, surcharged, and subject to the per-link
+    circuit breaker.  :meth:`run_resilient` then degrades gracefully —
+    any failed transfer means the epoch runs the per-access remote path
+    instead of the redirected mirror kernel, and promotion is re-tried
+    on the next epoch once the breaker half-opens.
+    """
+
+    def __init__(self, lab: PgasLab, transfers: TransferManager | None = None) -> None:
         self.lab = lab
+        # default to whatever interconnect the lab attached (None = the
+        # legacy perfect-network preload path)
+        self.transfers = transfers if transfers is not None else lab.transfers
         machine = lab.machine
         # local mirror window: same stride layout as the remote window so
         # the same owner arithmetic works against a different base
@@ -72,6 +85,12 @@ class RdmaPrefetcher:
         self._detected: PrefetchPlan | None = None
         self._detect_kernel: int | None = None
         self._redirect_kernel: int | None = None
+        self._plan_cache: dict[tuple[int, int], PrefetchPlan] = {}
+        #: True only while the mirror holds verified data for the whole
+        #: current plan; any failed transfer invalidates it.
+        self.mirror_valid = False
+        self.promotions = 0
+        self.fallbacks = 0
 
     # ------------------------------------------------------------ detect
     def detect(self, lo: int, hi: int) -> PrefetchPlan:
@@ -157,3 +176,68 @@ class RdmaPrefetcher:
             kernel, self.mirror_ga, lo, hi, self.lab.machine.symbol("ga_get")
         )
         return run, cost
+
+    # --------------------------------------------------- resilient drive
+    def preload_resilient(self, plan: PrefetchPlan) -> tuple[int, list[TransferReport]]:
+        """Preload through the unreliable interconnect.  Only transfers
+        whose checksum verified land in the mirror; ``mirror_valid``
+        becomes True only if *every* range delivered."""
+        if self.transfers is None:
+            raise RuntimeError("preload_resilient requires a TransferManager")
+        lab = self.lab
+        cost = 0
+        reports: list[TransferReport] = []
+        for lo, hi in plan.ranges:
+            node = (lo - lab.remote_base) // lab.remote_stride
+            offset = lo - (lab.remote_base + node * lab.remote_stride)
+            dst = self.mirror_base + node * self.mirror_stride + offset
+            report = self.transfers.transfer(node, lo, dst, hi - lo)
+            reports.append(report)
+            cost += report.cycles
+        self.mirror_valid = bool(reports) and all(r.ok for r in reports)
+        return cost, reports
+
+    def run_resilient(self, lo: int, hi: int) -> "ResilientRun":
+        """One epoch: try promotion (detect + resilient preload +
+        redirected kernel); on any transfer failure fall back to the
+        per-access remote path.  Always correct, never raises for
+        interconnect faults; advances the manager's epoch at the end so
+        breakers can cool down between calls."""
+        if self.transfers is None:
+            raise RuntimeError("run_resilient requires a TransferManager")
+        plan = self._plan_cache.get((lo, hi))
+        if plan is None:
+            plan = self.detect(lo, hi)
+            self._plan_cache[(lo, hi)] = plan
+        cost, reports = self.preload_resilient(plan)
+        attempts = sum(r.attempts for r in reports)
+        failures = tuple(r.reason for r in reports if not r.ok)
+        try:
+            if self.mirror_valid:
+                kernel = self.redirect_kernel()
+                run = self.lab.machine.call(
+                    kernel, self.mirror_ga, lo, hi,
+                    self.lab.machine.symbol("ga_get"),
+                )
+                self.promotions += 1
+                return ResilientRun(run, "redirected", cost, attempts, failures)
+            run = self.run_naive(lo, hi)
+            self.fallbacks += 1
+            return ResilientRun(run, "remote-fallback", cost, attempts, failures)
+        finally:
+            self.transfers.advance_epoch()
+
+
+@dataclass
+class ResilientRun:
+    """Outcome of one :meth:`RdmaPrefetcher.run_resilient` epoch."""
+
+    run: RunResult
+    path: str  # "redirected" | "remote-fallback"
+    transfer_cycles: int
+    transfer_attempts: int
+    failures: tuple[str, ...]  # taxonomy reasons of failed transfers
+
+    @property
+    def total_cycles(self) -> int:
+        return self.run.cycles + self.transfer_cycles

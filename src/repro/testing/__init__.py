@@ -1,23 +1,29 @@
-"""Test-support utilities: fault injection for the rewriter pipeline.
+"""Test-support utilities: fault injection for the rewriter pipeline
+and the simulated interconnect.
 
 Nothing in this package is used by the rewriter itself; it exists so the
-test suite (and CI's fault-injection smoke job) can prove the paper's
-Sec. III.G robustness property *mechanically* — every induced failure
-anywhere in the pipeline must surface as a tagged failed
-``RewriteResult``, never as a raw traceback.
+test suite (and CI's fault-injection / chaos smoke jobs) can prove the
+robustness contracts *mechanically*: every induced failure anywhere in
+the rewrite pipeline must surface as a tagged failed ``RewriteResult``,
+and every induced interconnect fault as a tagged failed
+``TransferReport`` — never as a raw traceback, never as a wrong answer.
 """
 
 from repro.testing.faultinject import (
+    ALL_FAULT_KINDS,
     EXPECTED_REASON,
     FAULT_KINDS,
+    NETWORK_FAULT_KINDS,
     FaultInjector,
     inject_fault,
     plan_faults,
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "EXPECTED_REASON",
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "FaultInjector",
     "inject_fault",
     "plan_faults",

@@ -24,6 +24,17 @@ Four fault classes cover the pipeline end to end:
     An optimization pass raises an arbitrary ``RuntimeError`` (a bug in
     the pass itself) → reason ``internal``.
 
+Four more classes cover the simulated interconnect (the distributed
+runtime's robustness contract: a network fault is a tagged, recoverable
+:class:`~repro.machine.link.TransferReport`, never a crash and never a
+wrong answer):
+
+``drop`` / ``corrupt`` / ``delay`` / ``partition``
+    The Nth wire-level attempt through
+    :meth:`repro.machine.link.Link.transfer` suffers that fate → reasons
+    ``link-drop`` / ``link-corrupt`` / ``link-delay`` /
+    ``link-partition`` once the manager's retries are exhausted.
+
 Injection sites are patched for the dynamic extent of the context
 manager only and restored unconditionally; injectors are reusable but
 not reentrant.
@@ -36,16 +47,32 @@ from typing import Iterator
 
 from repro.errors import DecodeError, EncodingError, SegmentationFault
 
-#: All supported fault classes, in pipeline order.
+#: All supported rewrite-pipeline fault classes, in pipeline order.
 FAULT_KINDS = ("decode", "memory", "emit", "pass")
 
-#: The documented ``RewriteResult.reason`` each injected fault class must
-#: surface as (the taxonomy lives in :data:`repro.errors.FAILURE_REASONS`).
+#: Interconnect fault classes (distributed runtime, PR 2): the Nth bulk
+#: transfer through :meth:`repro.machine.link.Link.transfer` is forced to
+#: the corresponding wire-level fate.  These surface as tagged failed
+#: :class:`~repro.machine.link.TransferReport` objects (after the
+#: manager's retries are exhausted), never as escaping exceptions.
+NETWORK_FAULT_KINDS = ("drop", "corrupt", "delay", "partition")
+
+#: Every injectable fault class, pipeline then interconnect.
+ALL_FAULT_KINDS = FAULT_KINDS + NETWORK_FAULT_KINDS
+
+#: The documented failure reason each injected fault class must surface
+#: as — ``RewriteResult.reason`` for pipeline kinds,
+#: ``TransferReport.reason`` for interconnect kinds (the taxonomy lives
+#: in :data:`repro.errors.FAILURE_REASONS`).
 EXPECTED_REASON = {
     "decode": "decode-error",
     "memory": "memory-fault",
     "emit": "encode-error",
     "pass": "internal",
+    "drop": "link-drop",
+    "corrupt": "link-corrupt",
+    "delay": "link-delay",
+    "partition": "link-partition",
 }
 
 #: Marker embedded in every injected exception message so tests can tell
@@ -65,7 +92,7 @@ class FaultInjector:
     """
 
     def __init__(self, kind: str, nth: int = 1) -> None:
-        if kind not in FAULT_KINDS:
+        if kind not in ALL_FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}")
         if nth < 1:
             raise ValueError("nth is 1-based")
@@ -156,6 +183,45 @@ class FaultInjector:
             emit_mod.encode_program = real
 
         return restore
+
+    def _install_network(self, status: str):
+        """Patch :meth:`repro.machine.link.Link.transfer` so the Nth
+        wire-level attempt (across all links) suffers ``status`` — routed
+        through :meth:`~repro.machine.link.Link.force_fault` so injected
+        faults have exactly the organic side effects (counters move,
+        partitions latch, cycles are charged)."""
+        from repro.machine.link import Link
+
+        real = Link.transfer
+
+        def faulty_transfer(link, payload):
+            """Injected: force the Nth transfer attempt to a fault."""
+            if self._tick():
+                return link.force_fault(payload, status)
+            return real(link, payload)
+
+        Link.transfer = faulty_transfer
+
+        def restore():
+            Link.transfer = real
+
+        return restore
+
+    def _install_drop(self):
+        """Nth bulk transfer is dropped (sender burns its timeout)."""
+        return self._install_network("drop")
+
+    def _install_corrupt(self):
+        """Nth bulk transfer arrives bit-flipped (checksum catches it)."""
+        return self._install_network("corrupt")
+
+    def _install_delay(self):
+        """Nth bulk transfer completes after the sender's timeout."""
+        return self._install_network("delay")
+
+    def _install_partition(self):
+        """Nth bulk transfer starts a latched partition on its link."""
+        return self._install_network("partition")
 
     def _install_pass(self):
         """Patch the pass loader so the loaded pass function crashes with

@@ -168,6 +168,41 @@ def test_ladder_exhaustion_reports_last_failure(machine):
     assert supervisor.fallback_rate == 1.0
 
 
+def test_injected_clock_expires_deadline_deterministically(machine):
+    """Satellite: `RewriteSupervisor(clock=...)` threads a fake clock
+    through `rewrite` into the tracer, so deadline expiry is a
+    deterministic function of traced instructions, not a wall-clock
+    race.  Two identical runs walk identical ladders."""
+    load_asm(machine, "addn", COUNTDOWN)
+
+    def run_once():
+        ticks = {"n": 0}
+
+        def clock() -> float:
+            ticks["n"] += 1
+            return float(ticks["n"])  # one fake second per consultation
+
+        conf = brew_init_conf()
+        brew_setpar(conf, 1, BREW_KNOWN)
+        supervisor = RewriteSupervisor(machine, deadline_seconds=0.5, clock=clock)
+        result = supervisor.rewrite(conf, "addn", 400, 3)
+        return result, ticks["n"]
+
+    first, ticks_a = run_once()
+    second, ticks_b = run_once()
+    assert not first.ok and first.reason == "deadline-exceeded"
+    assert first.ladder_attempts == second.ladder_attempts
+    assert ticks_a == ticks_b > 0
+    # a generous fake deadline lets the same rewrite succeed: the clock
+    # is genuinely what decides
+    conf = brew_init_conf()
+    brew_setpar(conf, 1, BREW_KNOWN)
+    relaxed = RewriteSupervisor(
+        machine, deadline_seconds=1e9, clock=lambda: 0.0
+    )
+    assert relaxed.rewrite(conf, "addn", 400, 3).ok
+
+
 def test_non_retryable_reason_stops_the_ladder(machine):
     """bad-argument cannot improve at a lower rung: one attempt only."""
     supervisor = RewriteSupervisor(machine)

@@ -7,6 +7,7 @@ import pytest
 from repro.core import brew_init_conf, brew_setpar, BREW_KNOWN, BREW_PTR_TO_KNOWN
 from repro.core.dispatch import build_multi_guard_stub
 from repro.core.manager import SpecializationManager
+from repro.core.rewriter import RewriteResult, rewrite
 from repro.machine.vm import Machine
 
 SOURCE = """
@@ -99,6 +100,91 @@ def test_failures_are_cached(setup):
     r2 = mgr.get(conf, "poly", 0, 0)
     assert not r1.ok and r1 is r2
     assert mgr.misses == 1 and mgr.hits == 1
+
+
+class _FlakyRewriter:
+    """A ``rewrite_fn`` stub: fails while ``failing`` is set, then
+    delegates to the real pipeline — same cache key, different outcome,
+    which is exactly the quarantine re-admission scenario."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.failing = True
+        self.calls = 0
+
+    def __call__(self, conf, fn, *args):
+        self.calls += 1
+        if self.failing:
+            return RewriteResult(
+                ok=False, original=self.machine.image.resolve(fn),
+                reason="internal", message="injected flaky failure",
+            )
+        return rewrite(self.machine, conf, fn, *args)
+
+
+def _quarantine_setup(backoff=10.0):
+    m = Machine()
+    m.load(SOURCE)
+    now = [1000.0]
+    flaky = _FlakyRewriter(m)
+    mgr = SpecializationManager(
+        m, rewrite_fn=flaky, backoff_seconds=backoff, clock=lambda: now[0]
+    )
+    return m, mgr, flaky, now
+
+
+def test_quarantine_refused_before_backoff_expires():
+    m, mgr, flaky, now = _quarantine_setup(backoff=10.0)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    r1 = mgr.get(conf, "poly", 0, 3)
+    assert not r1.ok and flaky.calls == 1
+    # inside the window: the cached failure is served, no new attempt
+    now[0] += 9.999
+    r2 = mgr.get(conf, "poly", 0, 3)
+    assert r2 is r1 and flaky.calls == 1
+    assert mgr.quarantine_hits == 1 and mgr.quarantine_retries == 0
+
+
+def test_quarantine_retried_after_backoff_and_window_doubles():
+    m, mgr, flaky, now = _quarantine_setup(backoff=10.0)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    mgr.get(conf, "poly", 0, 3)             # failure #1, window = 10
+    now[0] += 10.0
+    mgr.get(conf, "poly", 0, 3)             # retried -> failure #2
+    assert flaky.calls == 2 and mgr.quarantine_retries == 1
+    # the window doubled to 20: refused at +19.999, retried at +20
+    now[0] += 19.999
+    mgr.get(conf, "poly", 0, 3)
+    assert flaky.calls == 2 and mgr.quarantine_hits == 1
+    now[0] += 0.001
+    mgr.get(conf, "poly", 0, 3)             # retried -> failure #3
+    assert flaky.calls == 3 and mgr.quarantine_retries == 2
+    # and doubles again (40) from the time of failure #3
+    now[0] += 39.999
+    mgr.get(conf, "poly", 0, 3)
+    assert flaky.calls == 3 and mgr.quarantine_hits == 2
+
+
+def test_quarantine_readmission_after_recovery():
+    m, mgr, flaky, now = _quarantine_setup(backoff=10.0)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    assert not mgr.get(conf, "poly", 0, 3).ok
+    flaky.failing = False                   # the underlying cause is fixed
+    # still refused until the window expires — quarantine holds
+    now[0] += 5.0
+    assert not mgr.get(conf, "poly", 0, 3).ok
+    assert flaky.calls == 1
+    # after expiry the retry goes through and the key is re-admitted
+    now[0] += 5.0
+    r = mgr.get(conf, "poly", 0, 3)
+    assert r.ok and flaky.calls == 2
+    assert m.call(r.entry, 5, 3).int_return == 5 * 3 + 3
+    # and subsequent calls are plain cache hits, no more quarantine
+    assert mgr.get(conf, "poly", 0, 3) is r
+    assert mgr.stats()["quarantined"] == 0
 
 
 def test_multi_guard_chain(setup):

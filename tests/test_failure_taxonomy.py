@@ -1,9 +1,11 @@
 """The failure-reason taxonomy may not drift.
 
-Three-way consistency between the code (every ``RewriteFailure(reason)``
-literal under ``src/``), the registry (``repro.errors.FAILURE_REASONS``)
-and the user docs (``docs/REWRITER.md``): no undocumented reasons, no
-dead documented ones."""
+Four-way consistency between the code (every ``RewriteFailure(reason)``
+literal under ``src/``), the registry (``repro.errors.FAILURE_REASONS``),
+the fault-injection harness (``repro.testing`` maps every injectable
+fault class to its documented reason) and the user docs
+(``docs/REWRITER.md``): no undocumented reasons, no dead documented
+ones, no injectable fault without a documented outcome."""
 
 from __future__ import annotations
 
@@ -11,6 +13,7 @@ import re
 from pathlib import Path
 
 from repro.errors import FAILURE_REASONS
+from repro.testing import ALL_FAULT_KINDS, EXPECTED_REASON, NETWORK_FAULT_KINDS
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
@@ -52,3 +55,24 @@ def test_registry_descriptions_are_nonempty():
     """Each taxonomy entry carries a human-readable description."""
     for reason, description in FAILURE_REASONS.items():
         assert description.strip(), f"empty description for {reason!r}"
+
+
+def test_every_injectable_fault_has_a_registered_reason():
+    """Each fault class the harness can inject (pipeline and network)
+    maps to a reason that exists in the registry — the four-way link
+    between injection, code, registry and docs."""
+    assert set(EXPECTED_REASON) == set(ALL_FAULT_KINDS)
+    unregistered = set(EXPECTED_REASON.values()) - set(FAILURE_REASONS)
+    assert not unregistered, f"injected reasons not registered: {sorted(unregistered)}"
+
+
+def test_network_fault_reasons_cover_the_link_namespace():
+    """The ``link-*`` reasons and the network fault classes are the same
+    set: a new interconnect fault class must come with its taxonomy
+    entry, and a new ``link-*`` reason must be injectable."""
+    link_reasons = {r for r in FAILURE_REASONS if r.startswith("link-")}
+    injectable = {EXPECTED_REASON[k] for k in NETWORK_FAULT_KINDS}
+    assert injectable == link_reasons, (
+        f"injectable {sorted(injectable)} != registered {sorted(link_reasons)}"
+    )
+    assert all(EXPECTED_REASON[k] == f"link-{k}" for k in NETWORK_FAULT_KINDS)
