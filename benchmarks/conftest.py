@@ -3,7 +3,10 @@
 Every benchmark regenerates one experiment of DESIGN.md §4: it builds
 the workload, runs the paper-shaped comparison, asserts the qualitative
 *shape checks*, prints the paper-style table, and persists it under
-``benchmarks/results/`` (the tables EXPERIMENTS.md quotes).
+``benchmarks/results/`` — both as the human-readable table
+EXPERIMENTS.md quotes and as ``BENCH_<id>.json``, a machine-readable
+record (rows, checks, health counters, embedded metrics snapshot) so
+the repo's perf trajectory can be diffed across PRs.
 
 pytest-benchmark times the hot simulated run (simulator throughput);
 the scientific output is the cycle table, which is deterministic.
@@ -11,6 +14,7 @@ the scientific output is the cycle table, which is deterministic.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -24,9 +28,38 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+def _experiment_json(exp) -> dict:
+    """A machine-readable snapshot of one experiment run."""
+    doc = {
+        "id": exp.id,
+        "title": exp.title,
+        "paper_locus": exp.paper_locus,
+        "rows": [
+            {
+                "label": r.label,
+                "cycles": r.cycles,
+                "ratio": r.ratio,
+                "paper": r.paper,
+                "note": r.note,
+            }
+            for r in exp.rows
+        ],
+        "checks": [
+            {"description": c.description, "holds": c.holds} for c in exp.checks
+        ],
+        "health": dict(exp.health),
+    }
+    # experiments that embed a one-line metrics snapshot in their listing
+    # (EXT-3, EXT-4) get it parsed back out as structured data
+    if exp.listing.startswith("metrics "):
+        doc["metrics"] = json.loads(exp.listing[len("metrics "):])
+    return doc
+
+
 @pytest.fixture()
 def record_experiment(results_dir):
-    """Print an experiment table, persist it, and assert its checks."""
+    """Print an experiment table, persist it (text + JSON), and assert
+    its checks."""
 
     def _record(exp) -> None:
         from repro.experiments import format_table
@@ -35,6 +68,10 @@ def record_experiment(results_dir):
         print()
         print(table)
         (results_dir / f"{exp.id.lower()}.txt").write_text(table)
+        slug = exp.id.lower().replace("-", "")
+        (results_dir / f"BENCH_{slug}.json").write_text(
+            json.dumps(_experiment_json(exp), indent=2, sort_keys=True) + "\n"
+        )
         failed = [c.description for c in exp.checks if not c.holds]
         assert not failed, f"{exp.id} shape checks failed: {failed}"
 

@@ -1,0 +1,13 @@
+"""EXT-4: amortized specialization through the background service.
+
+The benchmark's JSON record (``BENCH_ext4.json``) carries the service
+hit rate and the cycle-domain amortization crossover, the two numbers
+the ROADMAP's heavy-traffic north star turns on.
+"""
+
+from repro.experiments.amortization_exp import ext4_amortization
+
+
+def test_ext4_amortization(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext4_amortization, rounds=1, iterations=1)
+    record_experiment(exp)

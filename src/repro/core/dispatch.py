@@ -194,3 +194,42 @@ def build_multi_guard_stub(
     image.define_symbol(f"{base_name}__mguard_{addr:x}", addr)
     machine.cpu.invalidate_icache()
     return addr
+
+
+class DispatchTable:
+    """Published specializations: ``key -> entry`` with atomic updates.
+
+    The rewrite service's callers look up a key (the manager cache key)
+    and jump to whatever entry is published — the original function
+    until a background rewrite lands, the specialized body afterwards.
+    Publication is a single dict assignment, which is atomic under the
+    interpreter lock, so a concurrent reader sees either the old entry
+    or the new one, never a torn state; the same holds for withdrawal.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+
+    def lookup(self, key, default: int | None = None) -> int | None:
+        return self._table.get(key, default)
+
+    def publish(self, key, entry: int) -> None:
+        self._table[key] = entry
+
+    def withdraw(self, keys) -> int:
+        """Remove published entries; returns how many were present."""
+        dropped = 0
+        for key in keys:
+            if self._table.pop(key, None) is not None:
+                dropped += 1
+        return dropped
+
+    def entries(self) -> set:
+        """The set of currently published entry addresses."""
+        return set(self._table.values())
+
+    def __contains__(self, key) -> bool:
+        return key in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -31,11 +31,12 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.core.config import FunctionConfig, RewriteConfig
+from repro.core.config import FunctionConfig, Knownness, RewriteConfig
 from repro.core.rewriter import RewriteResult, rewrite
+from repro.obs import Metrics
 
 #: First-failure backoff window in (clock) seconds; doubles per repeat.
 DEFAULT_BACKOFF_SECONDS = 0.25
@@ -80,13 +81,41 @@ def _args_fingerprint(args: tuple) -> tuple:
         )
 
 
+def _relevant_args(conf: RewriteConfig, args: tuple) -> tuple:
+    """Project the example arguments onto what the rewrite can see.
+
+    The entry world seeds only *declared-known* parameters, so the
+    concrete value of an UNKNOWN int/float argument provably cannot
+    influence the trace — two calls differing only there produce the
+    same specialized body and must share one cache slot.  The argument's
+    *type* still matters (int vs. float changes register assignment), so
+    unknown positions collapse to a ``("?", typename)`` placeholder
+    rather than disappearing.  Anything that is not a plain int/float
+    (bools, lists...) is kept verbatim: those are rejected by the
+    rewriter as ``bad-argument`` and the failure is cached per-value."""
+    entry_cfg = conf.function(None)
+    out = []
+    for position, arg in enumerate(args, start=1):
+        knownness = entry_cfg.params.get(position, Knownness.UNKNOWN)
+        if knownness is Knownness.UNKNOWN and type(arg) in (int, float):
+            out.append(("?", type(arg).__name__))
+        else:
+            out.append(arg)
+    return tuple(out)
+
+
 @dataclass
 class _Entry:
     """One cached rewrite outcome (success or quarantined failure)."""
 
     result: RewriteResult
-    #: (start, end, content-hash) for every known range at rewrite time
-    memory_deps: list[tuple[int, int, str]] = field(default_factory=list)
+    #: Known-memory dependencies at rewrite time.  For a successful
+    #: rewrite these are the *world signature*: ``(addr, addr+8, value)``
+    #: triples for exactly the cells the trace consumed (the third
+    #: element is the 8-byte integer value read).  For failures — where
+    #: no trace output exists — they fall back to ``(start, end,
+    #: sha1-hex)`` over every declared range.
+    memory_deps: list[tuple[int, int, int | str]] = field(default_factory=list)
     #: Consecutive failures for this key (0 for a successful entry).
     fail_count: int = 0
     #: Clock time at which a quarantined failure becomes retryable.
@@ -114,18 +143,29 @@ class SpecializationManager:
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
         max_backoff_seconds: float = MAX_BACKOFF_SECONDS,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Metrics | None = None,
     ) -> None:
         self.machine = machine
         self._rewrite_fn = rewrite_fn
         self.backoff_seconds = backoff_seconds
         self.max_backoff_seconds = max_backoff_seconds
         self.clock = clock
+        self.metrics = metrics if metrics is not None else Metrics()
         self._cache: dict[tuple, _Entry] = {}
+        #: Content-addressed code index: sha1 of the emitted bytes →
+        #: canonical (entry, name).  Two keys whose rewrites produce
+        #: byte-identical bodies (emission is rel32 position-independent)
+        #: dispatch through one copy; the redundant emission is left in
+        #: the image (there is no code GC) but never dispatched to.
+        self._code_index: dict[str, tuple[int, str]] = {}
+        self._listeners: list[Callable[[list[tuple]], None]] = []
         self.hits = 0
         self.misses = 0
         self.fallbacks = 0
         self.quarantine_hits = 0
         self.quarantine_retries = 0
+        self.evictions = 0
+        self.code_dedup = 0
         #: Monotone counter bumped on every invalidation; mirrored into
         #: :attr:`epoch_cell` so guard stubs can check it in one compare.
         self.epoch = 1
@@ -137,16 +177,67 @@ class SpecializationManager:
             return self._rewrite_fn(conf, fn, *args)
         return rewrite(self.machine, conf, fn, *args)
 
-    def _memory_deps(self, conf: RewriteConfig) -> list[tuple[int, int, str]]:
-        deps = []
+    def _memory_deps(
+        self, conf: RewriteConfig, result: RewriteResult | None = None
+    ) -> list[tuple[int, int, int | str]]:
+        """Dependencies that make a cached entry stale.
+
+        A successful rewrite carries its world signature
+        (``result.known_reads``): the variant depends on exactly the
+        known cells the trace consumed, so mutating an unread byte of a
+        declared range neither invalidates it nor counts as overlap for
+        :meth:`invalidate_memory`.  Failures have no trace, so they
+        conservatively depend on every declared range by content hash."""
+        if result is not None and result.ok:
+            return [(addr, addr + 8, value) for addr, value in result.known_reads]
+        deps: list[tuple[int, int, int | str]] = []
         for start, end in conf.known_memory:
             raw = self.machine.image.peek(start, end - start)
             deps.append((start, end, hashlib.sha1(raw).hexdigest()))
         return deps
 
+    def _deps_fresh(self, deps: list[tuple[int, int, int | str]]) -> bool:
+        for s, e, h in deps:
+            if isinstance(h, int):
+                raw = int.from_bytes(self.machine.image.peek(s, 8), "little")
+                if raw != h:
+                    return False
+            elif hashlib.sha1(self.machine.image.peek(s, e - s)).hexdigest() != h:
+                return False
+        return True
+
     def _key(self, fn, conf: RewriteConfig, args: tuple) -> tuple:
         addr = self.machine.image.resolve(fn)
-        return (addr, _config_fingerprint(conf), _args_fingerprint(args))
+        return (
+            addr,
+            _config_fingerprint(conf),
+            _args_fingerprint(_relevant_args(conf, args)),
+        )
+
+    def key_for(self, fn, conf: RewriteConfig, args: tuple) -> tuple:
+        """The cache key ``get`` files ``(fn, conf, args)`` under *now*.
+
+        Callers that mirror published entries (the rewrite service's
+        dispatch table) compute this after a rewrite returns — the key
+        incorporates PTR_TO_KNOWN ranges registered during the rewrite —
+        and drop their mirror when an invalidation listener reports it."""
+        return self._key(fn, conf, args)
+
+    def add_invalidation_listener(
+        self, callback: Callable[[list[tuple]], None]
+    ) -> None:
+        """Register ``callback(dropped_keys)``, fired whenever cache
+        entries are evicted (explicit invalidation or staleness)."""
+        self._listeners.append(callback)
+
+    def _evict(self, keys: list[tuple]) -> None:
+        for k in keys:
+            del self._cache[k]
+        if keys:
+            self.evictions += len(keys)
+            self.metrics.inc("manager.evictions", len(keys))
+            for callback in self._listeners:
+                callback(list(keys))
 
     def _backoff(self, fail_count: int) -> float:
         return min(
@@ -192,31 +283,38 @@ class SpecializationManager:
         retry_of: _Entry | None = None
         if entry is not None:
             if entry.result.ok:
-                # stale if any depended-on known memory changed content
-                if all(
-                    hashlib.sha1(self.machine.image.peek(s, e - s)).hexdigest() == h
-                    for s, e, h in entry.memory_deps
-                ):
+                # stale if any depended-on known cell changed content
+                if self._deps_fresh(entry.memory_deps):
                     self.hits += 1
+                    self.metrics.inc("manager.hits")
                     return entry.result
-                del self._cache[key]
+                self.metrics.inc("manager.miss_stale")
+                self._evict([key])
             elif self.clock() < entry.retry_at:
                 self.hits += 1
                 self.quarantine_hits += 1
                 self.fallbacks += 1
+                self.metrics.inc("manager.hits")
+                self.metrics.inc("manager.quarantine_hits")
                 return entry.result
             else:
                 self.quarantine_retries += 1
+                self.metrics.inc("manager.quarantine_retries")
                 retry_of = entry
+        else:
+            self.metrics.inc("manager.miss_cold")
         self.misses += 1
+        self.metrics.inc("manager.misses")
         result = self._do_rewrite(conf, fn, *args)
         # conf.known_memory may have grown (PTR_TO_KNOWN registration);
         # re-key on the post-rewrite fingerprint for future lookups
         key = self._key(fn, conf, args)
         if result.ok:
-            self._cache[key] = _Entry(result, self._memory_deps(conf))
+            result = self._dedup_code(result)
+            self._cache[key] = _Entry(result, self._memory_deps(conf, result))
         else:
             self.fallbacks += 1
+            self.metrics.inc("manager.fallbacks")
             fail_count = (retry_of.fail_count if retry_of else 0) + 1
             self._cache[key] = _Entry(
                 result,
@@ -226,23 +324,48 @@ class SpecializationManager:
             )
         return result
 
+    def _dedup_code(self, result: RewriteResult) -> RewriteResult:
+        """Content-addressed sharing of emitted bodies.
+
+        Emission relocates internal jumps as rel32, so byte-identical
+        bodies behave identically at any address; the first emission of
+        a body becomes canonical and later identical emissions dispatch
+        through it.  This is what makes world-signature sharing pay off
+        across *distinct* cache keys (e.g. configs with different
+        declared ranges whose read cells happen to agree)."""
+        if not result.ok or result.entry is None or not result.code_size:
+            return result
+        digest = hashlib.sha1(
+            self.machine.image.peek(result.entry, result.code_size)
+        ).hexdigest()
+        canonical = self._code_index.get(digest)
+        if canonical is None:
+            self._code_index[digest] = (result.entry, result.name)
+            return result
+        entry, name = canonical
+        if entry == result.entry:
+            return result
+        self.code_dedup += 1
+        self.metrics.inc("manager.code_dedup")
+        return replace(result, entry=entry, name=name)
+
     def invalidate_memory(self, start: int, end: int) -> int:
         """Drop every cached variant whose known memory overlaps
         ``[start, end)`` and bump the epoch (stale guard stubs start
         falling back to the original); returns how many were dropped."""
         stale = [k for k, e in self._cache.items() if e.overlaps(start, end)]
-        for k in stale:
-            del self._cache[k]
+        self._evict(stale)
         self._bump_epoch()
+        self.metrics.inc("manager.invalidations")
         return len(stale)
 
     def invalidate_function(self, fn) -> int:
         """Drop every cached variant of ``fn`` and bump the epoch."""
         addr = self.machine.image.resolve(fn)
         stale = [k for k in self._cache if k[0] == addr]
-        for k in stale:
-            del self._cache[k]
+        self._evict(stale)
         self._bump_epoch()
+        self.metrics.inc("manager.invalidations")
         return len(stale)
 
     def stats(self) -> dict[str, int]:
@@ -253,7 +376,10 @@ class SpecializationManager:
         fresh); ``quarantine_hits`` are failures served while their
         backoff window was open, ``quarantine_retries`` re-rewrites
         after a window expired; ``quarantined`` is the number of failed
-        entries currently cached, ``cached`` the total cache size."""
+        entries currently cached, ``cached`` the total cache size;
+        ``evictions`` counts entries dropped (staleness plus explicit
+        invalidation) and ``code_dedup`` rewrites whose emitted body was
+        byte-identical to an already-cached variant's."""
         quarantined = sum(1 for e in self._cache.values() if not e.result.ok)
         return {
             "hits": self.hits,
@@ -263,6 +389,8 @@ class SpecializationManager:
             "quarantine_retries": self.quarantine_retries,
             "quarantined": quarantined,
             "cached": len(self._cache),
+            "evictions": self.evictions,
+            "code_dedup": self.code_dedup,
             "epoch": self.epoch,
         }
 

@@ -37,6 +37,7 @@ from repro.errors import ReproError, RewriteFailure
 from repro.core.config import Knownness, RewriteConfig
 from repro.core.rewriter import RewriteResult, rewrite
 from repro.machine.memory import Perm
+from repro.obs import Metrics
 
 #: Failure reasons for which a more conservative ladder rung cannot help:
 #: the arguments or the configuration itself are wrong, and retrying with
@@ -287,8 +288,13 @@ class RewriteSupervisor:
         max_trace_steps: int | None = None,
         max_output_instructions: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Metrics | None = None,
     ) -> None:
         self.machine = machine
+        #: Shared observability registry: every ``_stats`` bump is
+        #: mirrored as a ``supervisor.*`` counter, and each successful
+        #: rewrite records per-variant block counts and trace sizes.
+        self.metrics = metrics if metrics is not None else Metrics()
         self.ladder = tuple(ladder)
         self.validate = validate
         self.validation_vectors = validation_vectors
@@ -312,6 +318,10 @@ class RewriteSupervisor:
         }
 
     # ------------------------------------------------------------- internal
+    def _charge(self, key: str, n: int = 1) -> None:
+        self._stats[key] += n
+        self.metrics.inc(f"supervisor.{key}", n)
+
     def _budgeted(self, conf: RewriteConfig) -> RewriteConfig:
         """A private copy of ``conf`` with the supervisor's per-attempt
         budgets applied (tighter of the two wins for the hard caps)."""
@@ -333,7 +343,7 @@ class RewriteSupervisor:
     def _gate(self, conf: RewriteConfig, result: RewriteResult, args: tuple) -> str | None:
         if not self.validate:
             return None
-        self._stats["validations"] += 1
+        self._charge("validations")
         try:
             mismatch = validate_variant(
                 self.machine, conf, result, args,
@@ -344,7 +354,7 @@ class RewriteSupervisor:
         except ReproError as exc:  # the gate itself must not crash callers
             mismatch = f"validation gate error: {type(exc).__name__}: {exc}"
         if mismatch is not None:
-            self._stats["validation_failures"] += 1
+            self._charge("validation_failures")
         return mismatch
 
     # ------------------------------------------------------------------ api
@@ -352,7 +362,7 @@ class RewriteSupervisor:
         """A supervised ``brew_rewrite``: degrade on retryable failures,
         validate successes, and always return a :class:`RewriteResult`
         (``entry_or_original`` keeps the graceful-fallback idiom)."""
-        self._stats["rewrites"] += 1
+        self._charge("rewrites")
         attempts: list[tuple[str, str]] = []
         base = self._budgeted(conf)
         rung_conf = base
@@ -363,7 +373,7 @@ class RewriteSupervisor:
                 rung_conf = rung_conf.copy()
                 rung.apply(rung_conf)
             rung_name = "base" if rung_index == 0 else self.ladder[rung_index - 1].name
-            self._stats["attempts"] += 1
+            self._charge("attempts")
             # pass the clock only when one was injected: rewrite() defaults
             # to the real monotonic clock, and test doubles that substitute
             # rewrite() need not grow a clock parameter
@@ -373,9 +383,19 @@ class RewriteSupervisor:
                 mismatch = self._gate(rung_conf, result, tuple(args))
                 if mismatch is None:
                     if rung_index == 0:
-                        self._stats["first_try"] += 1
+                        self._charge("first_try")
                     else:
-                        self._stats["ladder_recoveries"] += 1
+                        self._charge("ladder_recoveries")
+                    # per-variant shape: how many blocks this body carries
+                    # (the variant-count histogram the metrics layer
+                    # exports) and how long the rewrite took
+                    self.metrics.record(
+                        "supervisor.variant_blocks", result.stats.blocks
+                    )
+                    self.metrics.record(
+                        "supervisor.rewrite_micros",
+                        result.rewrite_seconds * 1e6,
+                    )
                     return replace(
                         result,
                         ladder_rung=rung_index,
@@ -397,7 +417,7 @@ class RewriteSupervisor:
             attempts.append((rung_name, result.reason))
             if result.reason in NON_RETRYABLE_REASONS:
                 break
-        self._stats["fallbacks"] += 1
+        self._charge("fallbacks")
         assert last is not None
         return replace(
             last, ladder_rung=len(attempts) - 1, ladder_attempts=tuple(attempts)

@@ -57,6 +57,12 @@ class RewriteResult:
     #: True once the differential validation gate compared this variant
     #: against the original and found no divergence.
     validated: bool = False
+    #: World signature: ``(addr, value)`` pairs for every declared-known
+    #: memory cell whose content the trace actually consumed.  Two
+    #: configs that agree on these cells (but differ in irrelevant
+    #: bytes) produce the same specialized body, so the manager keys its
+    #: cache — and its invalidation dependencies — on exactly this set.
+    known_reads: tuple = ()
 
     @property
     def entry_or_original(self) -> int:
@@ -156,6 +162,7 @@ def rewrite(
             stats=output.stats,
             rewrite_seconds=time.perf_counter() - started,
             debug=debug,
+            known_reads=tuple(sorted(output.known_reads.items())),
         )
     except RewriteFailure as exc:
         return RewriteResult(

@@ -94,6 +94,13 @@ class TraceOutput:
     registry: BlockRegistry
     entry_label: str
     stats: TraceStats = field(default_factory=TraceStats)
+    #: Absolute addresses of *declared-known* cells whose content the
+    #: trace actually consumed (folded), mapped to the 8-byte value
+    #: read.  This is the memory half of the variant's world signature:
+    #: the emitted code is valid exactly while these cells hold these
+    #: values — bytes inside known ranges that were never read are
+    #: irrelevant to the variant (see SpecializationManager).
+    known_reads: dict[int, int] = field(default_factory=dict)
 
 
 class Tracer:
@@ -129,6 +136,8 @@ class Tracer:
         #: Runtime-content generation per register (see known.RegSnapshot);
         #: bumped whenever an *emitted* instruction writes the register.
         self.reg_gens: dict = {}
+        #: Declared-known cells consumed by this trace (see TraceOutput).
+        self.known_reads: dict[int, int] = {}
 
     # ====================================================== driving loop
     def run(self, entry_world: World) -> TraceOutput:
@@ -147,7 +156,7 @@ class Tracer:
         self.stats.compensation_blocks = sum(
             1 for b in self.registry.blocks.values() if b.is_compensation
         )
-        return TraceOutput(self.registry, entry_label, self.stats)
+        return TraceOutput(self.registry, entry_label, self.stats, self.known_reads)
 
     def _trace_block(self, pending: PendingBlock) -> None:
         self.block = self.registry.begin(pending)
@@ -369,6 +378,11 @@ class Tracer:
             value = self.world.mem[key]
         elif key[0] == "a" and self._image_foldable(key[1]):
             raw = self.image.memory.read_u64(key[1], count=False)
+            if self.config.memory_is_known(key[1], 8):
+                # a declared-known (mutable) cell fed the trace: part of
+                # the variant's world signature.  rodata/code folds are
+                # immutable program text and need no recording.
+                self.known_reads[key[1]] = raw
             value = KnownFloat(_float_of_bits(raw)) if want_float else KnownInt(raw)
         else:
             return None
@@ -1248,6 +1262,8 @@ class Tracer:
                 continue
             if self._image_foldable(key[1]):
                 raw = self.image.memory.read_u64(key[1], count=False)
+                if self.config.memory_is_known(key[1], 8):
+                    self.known_reads[key[1]] = raw
                 mine = value.value if isinstance(value, KnownInt) else (
                     _bits_of_float(value.value) if isinstance(value, KnownFloat) else None
                 )

@@ -17,6 +17,7 @@ from repro.experiments.profile_exp import exp8_value_profile
 from repro.experiments.rdma_exp import ext1_rdma_prefetch
 from repro.experiments.dstencil_exp import ext2_distributed_stencil
 from repro.experiments.chaos_exp import ext3_chaos
+from repro.experiments.amortization_exp import ext4_amortization
 from repro.experiments.ablations import (
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = (
     exp1_specialize, exp2_listing, exp3_grouped, exp4_call_overhead,
     exp5_makedynamic, exp6_pgas, exp7_domainmap, exp8_value_profile,
     ext1_rdma_prefetch, ext2_distributed_stencil, ext3_chaos,
+    ext4_amortization,
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
 )

@@ -21,9 +21,12 @@ regenerates are the robustness analogue of the paper's Sec. III.G story:
 
 from __future__ import annotations
 
+import json
+
 from repro.errors import FAILURE_REASONS
 from repro.experiments.harness import Experiment, Row
 from repro.machine.link import FaultProfile
+from repro.obs import Metrics
 from repro.models.distributed_stencil import DistributedStencilLab
 from repro.models.pgas import PgasLab
 from repro.models.rdma import RdmaPrefetcher
@@ -120,7 +123,18 @@ def ext3_chaos(
     cells = [_chaos_cell(p, epochs, seed) for p in probs]
     baseline = cells[0]["cycles"] or 1
 
+    # the observability layer consumes the campaign: per-cell link stats
+    # become counters, per-cell survival cost a cycle histogram, and the
+    # one-line JSON snapshot is embedded in the table (benchmarks
+    # persist it, so fault-tolerance cost is machine-readable per PR)
+    metrics = Metrics()
     health: dict = {}
+    for cell in cells:
+        metrics.record("chaos.cell_cycles", cell["cycles"])
+        metrics.inc("chaos.sweeps", cell["sweeps"])
+        metrics.inc("chaos.fallbacks", cell["fallbacks"])
+        for key, value in cell["stats"].items():
+            metrics.inc(f"link.{key}", value)
     for cell in cells:
         note = (
             f"{cell['correct']}/{cell['sweeps']} correct, "
@@ -167,5 +181,14 @@ def ext3_chaos(
         "surviving faults costs cycles (no free lunch)",
         cells[-1]["cycles"] > cells[0]["cycles"],
     )
+    snapshot = metrics.snapshot_json()
+    parsed = json.loads(snapshot)
+    exp.check(
+        "metrics snapshot is valid one-line JSON and the campaign moved it",
+        "\n" not in snapshot
+        and parsed["counters"].get("chaos.sweeps", 0) > 0
+        and parsed["histograms"]["chaos.cell_cycles"]["count"] == len(cells),
+    )
     exp.health = health
+    exp.listing = "metrics " + snapshot
     return exp

@@ -215,7 +215,42 @@ class StencilLab:
         #: attempts degrade down the ladder and successful variants are
         #: differentially validated before being handed out.
         self.supervisor = RewriteSupervisor(self.machine, validation_vectors=1)
+        #: Optional background rewrite service (see :meth:`attach_service`).
+        self.service = None
         self.reset_matrices()
+
+    def attach_service(self, *, mode: str = "step", metrics=None, **options):
+        """Opt this lab into background specialization (mirror of
+        :meth:`repro.models.pgas.PgasLab.attach_service`): a
+        :class:`~repro.service.RewriteService` whose manager routes every
+        rewrite through this lab's supervisor."""
+        from repro.core.manager import SpecializationManager
+        from repro.obs import Metrics
+        from repro.service import RewriteService
+
+        metrics = metrics if metrics is not None else Metrics()
+        self.supervisor.metrics = metrics
+        manager = SpecializationManager(
+            self.machine, rewrite_fn=self.supervisor.rewrite, metrics=metrics
+        )
+        self.service = RewriteService(
+            self.machine, manager=manager, mode=mode, metrics=metrics, **options
+        )
+        return self.service
+
+    def apply_via_service(
+        self, passes: tuple[str, ...] = (), deferred_spills: bool = True
+    ) -> int:
+        """The generic ``apply``'s current best entry from the service:
+        the original on a cold miss (rewrite queued for the background
+        worker), the Figure-5 specialized body once published."""
+        conf = brew_init_conf()
+        brew_setpar(conf, 2, BREW_KNOWN)
+        brew_setpar(conf, 3, BREW_PTR_TO_KNOWN)
+        conf.passes = passes
+        conf.deferred_spills = deferred_spills
+        m_example = self.m1 + 8 * (self.xs + 1)
+        return self.service.request(conf, "apply", m_example, self.xs, self.s_addr)
 
     # ---------------------------------------------------------- matrices
     def reset_matrices(self) -> None:

@@ -1,0 +1,24 @@
+"""Observability for the specialization runtime.
+
+The ROADMAP's north star — serving heavy traffic fast — is unreachable
+without measurement: the paper's whole economic argument is that rewrite
+cost is "easily amortized" across repeated invocations, and amortization
+is a *ratio of measured quantities* (hit rates, rewrite latency, queue
+depth).  :mod:`repro.obs.metrics` provides the counters and
+power-of-two histograms every layer charges:
+
+* :class:`~repro.core.manager.SpecializationManager` — cache hits and
+  misses *by cause*, evictions, code-dedup hits, quarantine events;
+* :class:`~repro.core.resilience.RewriteSupervisor` — attempts, ladder
+  recoveries, validation failures, terminal fallbacks;
+* :class:`~repro.service.RewriteService` — queue depth, rewrite
+  latency, publishes, cold misses served with the original function.
+
+``Metrics.as_dict()`` is the programmatic export; ``snapshot_json()``
+is the one-line JSON form the benchmarks persist and the chaos
+experiment embeds in its table.
+"""
+
+from repro.obs.metrics import Counter, CycleHistogram, Metrics
+
+__all__ = ["Counter", "CycleHistogram", "Metrics"]

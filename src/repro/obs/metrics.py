@@ -1,0 +1,140 @@
+"""Counters and cycle-histograms for the specialization runtime.
+
+Deliberately tiny and dependency-free: a metric is a named value in a
+registry, and the whole registry exports as a sorted dict or a one-line
+JSON snapshot.  Determinism is part of the contract — two runs of the
+same seeded workload must produce byte-identical snapshots, which the
+service determinism suite asserts — so nothing in here reads a clock or
+iterates an unordered container into the output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (or a settable gauge via ``set``)."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += n
+        return self.value
+
+    def set(self, value: int) -> None:
+        """Gauge semantics: record the current level (queue depth etc.)."""
+        self.value = value
+
+
+@dataclass
+class CycleHistogram:
+    """A power-of-two-bucket histogram for latency-like quantities.
+
+    Values land in bucket ``b`` when ``2**b <= value < 2**(b+1)``
+    (value 0 lands in bucket 0).  Cheap, mergeable, and good enough to
+    tell "cache hit" (a few cycles) from "synchronous rewrite" (many
+    thousands) — the distinction the amortization story runs on.
+    """
+
+    name: str
+    buckets: dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    total: int = 0
+    max_value: int = 0
+
+    def record(self, value: int | float) -> None:
+        """File ``value`` into its power-of-two bucket (floored to int;
+        negatives clamp to 0)."""
+        value = int(value)
+        if value < 0:
+            value = 0
+        self.count += 1
+        self.total += value
+        self.max_value = max(self.max_value, value)
+        bucket = value.bit_length() - 1 if value > 0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max_value,
+            "mean": round(self.mean, 3),
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+        }
+
+
+class Metrics:
+    """A registry of counters and histograms, created lazily by name.
+
+    Layers share one registry by passing it around (``metrics=``
+    keyword); a layer constructed without one gets a private registry so
+    instrumentation is never conditional at the call sites.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, CycleHistogram] = {}
+
+    # ----------------------------------------------------------- creation
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> CycleHistogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = CycleHistogram(name)
+        return h
+
+    # ---------------------------------------------------------- shortcuts
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: int) -> None:
+        self.counter(name).set(value)
+
+    def record(self, name: str, value: int | float) -> None:
+        self.histogram(name).record(value)
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if never charged)."""
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    # ------------------------------------------------------------- export
+    def as_dict(self) -> dict:
+        """Sorted, JSON-able view of every metric."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def snapshot_json(self) -> str:
+        """The one-line JSON snapshot benchmarks persist and the chaos
+        experiment embeds; byte-identical across seeded reruns."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def merge_counters_into(self, out: dict) -> dict:
+        """Add every counter into ``out`` (experiment health footers)."""
+        for name in sorted(self._counters):
+            out[name] = out.get(name, 0) + self._counters[name].value
+        return out

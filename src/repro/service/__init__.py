@@ -1,0 +1,31 @@
+"""Background rewrite service: specialization off the caller's hot path.
+
+``SpecializationManager.get`` pays a full synchronous trace on every
+miss — on the caller's critical path.  The paper's amortization argument
+(Sec. VII: rewriting cost is "easily amortized" over repeated
+invocations) only needs the rewrite to happen *eventually*; BAAR
+(PAPERS.md) demonstrates the consequence: run original code while a
+background worker specializes, then swap in the specialized version.
+
+:class:`~repro.service.rewrite_service.RewriteService` implements that
+contract.  ``request()`` never blocks: it returns the published
+specialized entry on a warm hit and the *original* entry on a cold miss,
+queueing the rewrite for a worker.  Workers publish finished variants
+atomically into a :class:`~repro.core.dispatch.DispatchTable`, and
+manager invalidations withdraw them just as atomically.  Two worker
+modes share one code path: deterministic single-thread ``step`` mode
+(tests drive the queue explicitly and runs are bit-for-bit reproducible)
+and ``thread`` mode backed by a real ``ThreadPoolExecutor``.
+"""
+
+from repro.service.rewrite_service import (
+    REWRITE_CYCLES_PER_TRACED_INSN,
+    RewriteService,
+    modeled_rewrite_cycles,
+)
+
+__all__ = [
+    "RewriteService",
+    "REWRITE_CYCLES_PER_TRACED_INSN",
+    "modeled_rewrite_cycles",
+]

@@ -1,0 +1,218 @@
+"""The background rewrite queue (see the package docstring).
+
+Keying
+------
+A request is keyed by :meth:`SpecializationManager.key_for` computed on
+the caller's config *before* the rewrite runs.  The manager itself may
+file the finished entry under a different key — a PTR_TO_KNOWN rewrite
+registers pointed-to ranges into the working config, changing its
+fingerprint — so the service publishes the entry under both the request
+key and the post-rewrite manager key and remembers the association.  An
+invalidation listener on the manager withdraws every published alias
+when the underlying cache entry is dropped, whatever the cause.
+
+Determinism
+-----------
+Step mode is part of the differential test surface: with a fixed seed,
+two runs of the same workload must agree bit-for-bit, including the
+metrics snapshot.  The service therefore never records host time — its
+latency histogram is in *modelled cycles*,
+``traced_instructions × REWRITE_CYCLES_PER_TRACED_INSN``, the same cost
+model the EXT-4 amortization experiment uses for its crossover point.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+from repro.core.config import RewriteConfig
+from repro.core.dispatch import DispatchTable
+from repro.core.manager import SpecializationManager
+from repro.core.rewriter import RewriteResult
+from repro.obs import Metrics
+
+#: Modelled cost of rewriting, in emulated cycles per traced
+#: instruction.  Tracing decodes, partially evaluates and re-emits every
+#: instruction it visits, so its cost is linear in trace length with a
+#: large constant; 50 cycles/instruction is the order of magnitude the
+#: paper's LLVM-backed measurements imply and — more importantly here —
+#: a *deterministic* stand-in for host time, so amortization crossovers
+#: and latency histograms are reproducible across runs and machines.
+REWRITE_CYCLES_PER_TRACED_INSN = 50
+
+
+def modeled_rewrite_cycles(result: RewriteResult) -> int:
+    """The cycle-domain cost of a rewrite under the linear model."""
+    return result.stats.traced_instructions * REWRITE_CYCLES_PER_TRACED_INSN
+
+
+class RewriteService:
+    """Accepts rewrite requests; never blocks the caller.
+
+    ``mode="step"`` (default) queues work until :meth:`step` or
+    :meth:`drain` runs it on the calling thread — fully deterministic.
+    ``mode="thread"`` submits work to a ``ThreadPoolExecutor``; workers
+    serialize on :attr:`lock` because the simulated machine is a shared
+    mutable image.  Callers that execute simulated code concurrently
+    with in-flight rewrites must hold the same lock; the benchmarks
+    simply :meth:`drain` first.
+
+    Pass a ``manager`` (and optionally route its rewrites through a
+    :class:`~repro.core.resilience.RewriteSupervisor` via the manager's
+    ``rewrite_fn``) to share caching policy with synchronous callers;
+    by default the service builds a private manager charging the same
+    metrics registry.
+    """
+
+    def __init__(
+        self,
+        machine,
+        *,
+        manager: SpecializationManager | None = None,
+        mode: str = "step",
+        max_workers: int = 2,
+        metrics: Metrics | None = None,
+        rewrite_fn: Callable[..., RewriteResult] | None = None,
+    ) -> None:
+        if mode not in ("step", "thread"):
+            raise ValueError(f"unknown service mode {mode!r}")
+        self.machine = machine
+        self.mode = mode
+        if metrics is None:
+            metrics = manager.metrics if manager is not None else Metrics()
+        self.metrics = metrics
+        if manager is None:
+            manager = SpecializationManager(
+                machine, rewrite_fn=rewrite_fn, metrics=metrics
+            )
+        self.manager = manager
+        self.table = DispatchTable()
+        #: Serializes every machine mutation (rewrites) in thread mode.
+        self.lock = threading.Lock()
+        self._queue: deque = deque()
+        self._inflight: set = set()
+        self._futures: list[Future] = []
+        self._executor = (
+            ThreadPoolExecutor(max_workers=max_workers)
+            if mode == "thread"
+            else None
+        )
+        #: manager cache key -> set of published table keys (aliases)
+        self._aliases: dict = {}
+        manager.add_invalidation_listener(self._on_invalidation)
+
+    # ------------------------------------------------------------------ api
+    def request(self, conf: RewriteConfig, fn, *args) -> int:
+        """An entry point for ``fn`` under ``conf`` — *right now*.
+
+        Warm hit: the published specialized entry.  Cold miss: the
+        original entry, with the rewrite queued in the background (one
+        queue slot per key — concurrent requests for the same key
+        coalesce).  The caller never waits on a rewrite.
+        """
+        self.metrics.inc("service.requests")
+        key = self.manager.key_for(fn, conf, args)
+        entry = self.table.lookup(key)
+        if entry is not None:
+            self.metrics.inc("service.warm_hits")
+            return entry
+        self.metrics.inc("service.cold_misses")
+        original = self.machine.image.resolve(fn)
+        if key in self._inflight:
+            self.metrics.inc("service.coalesced")
+            return original
+        self._inflight.add(key)
+        # the caller may keep mutating its config before the worker
+        # runs; snapshot it so the rewrite sees the requested state
+        work = (key, conf.copy(), fn, tuple(args))
+        if self._executor is not None:
+            self._futures.append(self._executor.submit(self._locked_perform, work))
+        else:
+            self._queue.append(work)
+        self.metrics.set("service.queue_depth", self.pending())
+        return original
+
+    def step(self, limit: int = 1) -> int:
+        """Run up to ``limit`` queued rewrites on the calling thread
+        (step mode only); returns how many were performed."""
+        if self._executor is not None:
+            raise RuntimeError("step() is for step mode; thread mode uses drain()")
+        done = 0
+        while self._queue and done < limit:
+            self._perform(self._queue.popleft())
+            done += 1
+        return done
+
+    def drain(self) -> int:
+        """Finish all queued work; returns how many rewrites ran."""
+        if self._executor is not None:
+            done = 0
+            while self._futures:
+                future = self._futures.pop()
+                future.result()  # propagate worker crashes to the test
+                done += 1
+            return done
+        return self.step(limit=len(self._queue))
+
+    def pending(self) -> int:
+        """Rewrites accepted but not yet performed."""
+        if self._executor is not None:
+            return sum(1 for f in self._futures if not f.done())
+        return len(self._queue)
+
+    def stats(self) -> dict[str, int]:
+        """Service-level health (manager stats are separate)."""
+        return {
+            "requests": self.metrics.value("service.requests"),
+            "warm_hits": self.metrics.value("service.warm_hits"),
+            "cold_misses": self.metrics.value("service.cold_misses"),
+            "coalesced": self.metrics.value("service.coalesced"),
+            "publishes": self.metrics.value("service.publishes"),
+            "failures": self.metrics.value("service.failures"),
+            "withdrawn": self.metrics.value("service.withdrawn"),
+            "pending": self.pending(),
+            "published": len(self.table),
+        }
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self.drain()
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------- internal
+    def _locked_perform(self, work) -> None:
+        with self.lock:
+            self._perform(work)
+
+    def _perform(self, work) -> None:
+        key, conf, fn, args = work
+        result = self.manager.get(conf, fn, *args)
+        manager_key = self.manager.key_for(fn, conf, args)
+        self._inflight.discard(key)
+        if result.ok and result.entry is not None:
+            aliases = self._aliases.setdefault(manager_key, set())
+            for alias in {key, manager_key}:
+                self.table.publish(alias, result.entry)
+                aliases.add(alias)
+            self.metrics.inc("service.publishes")
+            self.metrics.record(
+                "service.rewrite_cycles", modeled_rewrite_cycles(result)
+            )
+        else:
+            # graceful degradation: callers keep getting the original
+            # (and re-requesting; the manager's quarantine backoff keeps
+            # retry traffic bounded)
+            self.metrics.inc("service.failures")
+        self.metrics.set("service.queue_depth", self.pending())
+
+    def _on_invalidation(self, dropped_keys: list) -> None:
+        withdrawn = 0
+        for manager_key in dropped_keys:
+            aliases = self._aliases.pop(manager_key, None)
+            if aliases:
+                withdrawn += self.table.withdraw(aliases)
+        if withdrawn:
+            self.metrics.inc("service.withdrawn", withdrawn)

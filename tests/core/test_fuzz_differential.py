@@ -325,3 +325,211 @@ def test_fuzzed_pointer_programs(seed):
             want = machine.call("fuzzed", *effective).int_return
             got = machine.call(result.entry, *effective).int_return
             assert got == want, (seed, known, effective, source)
+
+
+ARG_SWEEP3 = [
+    (0, 0, 0), (1, -1, 2), (7, 3, -4), (-12, 5, 6),
+    (100, -100, 1), (2**33, 9, -2),
+]
+
+
+@pytest.mark.parametrize("seed", range(85, 130))
+def test_fuzzed_random_knownness_splits(seed):
+    """Arity-3 functions where the known/unknown split itself is drawn
+    from the seed: every subset of {1,2,3} is reachable, so folding has
+    to cope with knowledge holes in arbitrary argument positions."""
+    source = ProgramGen(seed).function(arity=3, statements=5)
+    machine = Machine()
+    machine.load(source)
+    rng = random.Random(4000 + seed)
+    splits = [sorted(rng.sample([1, 2, 3], rng.randint(0, 3))) for _ in range(4)]
+    for known in splits:
+        conf = brew_init_conf()
+        example = ARG_SWEEP3[rng.randrange(len(ARG_SWEEP3))]
+        for index in known:
+            brew_setpar(conf, index, BREW_KNOWN)
+        if rng.random() < 0.3:
+            brew_setfunc(conf, None, conditionals_unknown=True)
+        if rng.random() < 0.3:
+            conf.variant_threshold = rng.choice([2, 4, 8])
+        if rng.random() < 0.3:
+            conf.deferred_spills = False
+        if rng.random() < 0.25:
+            conf.passes = ("regrename", "dce", "redundant-load", "peephole")
+        result = brew_rewrite(machine, conf, "fuzzed", *example)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for args in ARG_SWEEP3:
+            effective = tuple(
+                example[i] if (i + 1) in known else args[i] for i in range(3)
+            )
+            want = machine.call("fuzzed", *effective).int_return
+            got = machine.call(result.entry, *effective).int_return
+            assert got == want, (seed, known, effective, source)
+
+
+class AliasProgramGen:
+    """Read-only functions over two pointer parameters and an index:
+    ``long fuzzed(long *a, long *b, long i)``.  Terms read ``a``/``b``
+    at literal and dynamic (``i & 3``) offsets; the function never
+    writes memory, so folded known reads stay valid across the sweep.
+    Declaring both pointers PTR_TO_KNOWN over one buffer gives the
+    rewriter overlapping (aliasing) known ranges."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.vars = ["i"]
+        self.tmp = 0
+
+    def term(self) -> str:
+        r = self.rng
+        roll = r.random()
+        if roll < 0.25:
+            return f"a[{r.randint(0, 3)}]"
+        if roll < 0.5:
+            return f"b[{r.randint(0, 3)}]"
+        if roll < 0.6:
+            return f"{r.choice(['a', 'b'])}[i & 3]"
+        return r.choice(self.vars + [str(r.randint(-9, 9))])
+
+    def expr(self, depth: int) -> str:
+        r = self.rng
+        if depth <= 0 or r.random() < 0.35:
+            return self.term()
+        a, b = self.expr(depth - 1), self.expr(depth - 1)
+        roll = r.random()
+        if roll < 0.5:
+            return f"({a} {r.choice(['+', '-', '*'])} {b})"
+        if roll < 0.7:
+            return f"({a} {r.choice(['&', '|', '^'])} {b})"
+        if roll < 0.85:
+            return f"({a} {r.choice(['<', '>=', '=='])} {b})"
+        return f"({a} >> {r.randint(0, 5)})"
+
+    def function(self, statements: int = 4) -> str:
+        body = ["long acc = a[0];"]
+        self.vars.append("acc")
+        for _ in range(statements):
+            r = self.rng
+            if r.random() < 0.5:
+                name = f"t{self.tmp}"
+                self.tmp += 1
+                body.append(f"long {name} = {self.expr(2)};")
+                self.vars.append(name)
+            elif r.random() < 0.5:
+                body.append(f"if ({self.expr(1)}) {{ acc = {self.expr(2)}; }}")
+            else:
+                body.append(f"acc = acc + {self.expr(2)};")
+        body.append(f"return acc ^ {self.expr(2)};")
+        return ("noinline long fuzzed(long *a, long *b, long i) {\n"
+                + "\n".join(body) + "\n}")
+
+
+@pytest.mark.parametrize("seed", range(130, 160))
+def test_fuzzed_aliasing_known_memory(seed):
+    """Aliasing memory configurations: two pointer parameters into one
+    buffer at seed-chosen offsets, under every PTR_TO_KNOWN subset.
+    With both declared known the ranges overlap; with one unknown the
+    same cells are read both folded and at runtime — they must agree."""
+    from repro.core import BREW_PTR_TO_KNOWN
+
+    source = AliasProgramGen(seed).function()
+    machine = Machine()
+    machine.load(source)
+    base = machine.image.malloc(64)
+    rng = random.Random(5000 + seed)
+    for word in range(8):
+        machine.memory.write_u64(base + 8 * word, rng.randint(-50, 50) % 2**64)
+    offsets = [(0, 0), (0, 8), (16, 0), (8, 24)]
+    i_sweep = (0, 1, 2, 3, 7, -1)
+    for known in ([], [1], [2], [1, 2], [1, 2, 3]):
+        a_off, b_off = offsets[rng.randrange(len(offsets))]
+        example = (base + a_off, base + b_off, i_sweep[rng.randrange(len(i_sweep))])
+        conf = brew_init_conf()
+        for index in known:
+            brew_setpar(
+                conf, index, BREW_KNOWN if index == 3 else BREW_PTR_TO_KNOWN
+            )
+        if rng.random() < 0.3:
+            conf.deferred_spills = False
+        if rng.random() < 0.25:
+            conf.passes = ("regrename", "dce", "redundant-load", "peephole")
+        result = brew_rewrite(machine, conf, "fuzzed", *example)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for a_off2, b_off2 in offsets:
+            for i in i_sweep:
+                args = (base + a_off2, base + b_off2, i)
+                effective = tuple(
+                    example[k] if (k + 1) in known else args[k] for k in range(3)
+                )
+                want = machine.call("fuzzed", *effective).int_return
+                got = machine.call(result.entry, *effective).int_return
+                assert got == want, (seed, known, effective, source)
+
+
+class FlagProgramGen(ProgramGen):
+    """Comparison-heavy integer functions with wide shift counts: the
+    generated code keeps materialising and consuming condition flags
+    around sign/overflow boundaries, so a rewriter that folds a compare
+    with the wrong width or signedness diverges immediately."""
+
+    def expr(self, depth: int) -> str:  # type: ignore[override]
+        r = self.rng
+        if depth <= 0 or r.random() < 0.3:
+            return r.choice(self.vars + [str(r.randint(-20, 20))])
+        a = self.expr(depth - 1)
+        b = self.expr(depth - 1)
+        roll = r.random()
+        if roll < 0.4:
+            op = r.choice(["<", "<=", ">", ">=", "==", "!="])
+            return f"(({a} - {b}) {op} {self.expr(depth - 1)})"
+        if roll < 0.6:
+            return f"({a} {r.choice(['+', '-', '*'])} {b})"
+        if roll < 0.8:
+            return f"({a} {r.choice(['<<', '>>'])} {r.choice([1, 7, 31, 62, 63])})"
+        return f"({a} {r.choice(['&', '|', '^'])} {b})"
+
+    def stmt(self, depth: int) -> str:  # type: ignore[override]
+        r = self.rng
+        if r.random() < 0.5 and depth > 0:
+            cond = self.expr(2)
+            then = self._scoped(depth - 1)
+            els = self._scoped(depth - 1)
+            return f"if ({cond}) {{ {then} }} else {{ {els} }}"
+        return super().stmt(depth)
+
+
+FLAG_SWEEP = [
+    (0, 0), (-1, 1), (1, -1),
+    (2**63 - 1, -(2**63)), (-(2**63), 2**63 - 1),
+    (2**62, -(2**62)), (2**31, -(2**31)),
+]
+
+
+@pytest.mark.parametrize("seed", range(160, 205))
+def test_fuzzed_flag_sensitive_arithmetic(seed):
+    """Flag-sensitive arithmetic swept across the INT64 boundaries where
+    carry, overflow and sign disagree (INT64_MIN/MAX, +/-2^62)."""
+    source = FlagProgramGen(seed).function(arity=2, statements=4)
+    machine = Machine()
+    machine.load(source)
+    rng = random.Random(6000 + seed)
+    for known in ([], [1], [2], [1, 2]):
+        conf = brew_init_conf()
+        example = FLAG_SWEEP[rng.randrange(len(FLAG_SWEEP))]
+        for index in known:
+            brew_setpar(conf, index, BREW_KNOWN)
+        if rng.random() < 0.3:
+            brew_setfunc(conf, None, conditionals_unknown=True)
+        if rng.random() < 0.3:
+            conf.deferred_spills = False
+        if rng.random() < 0.25:
+            conf.passes = ("regrename", "dce", "redundant-load", "peephole")
+        result = brew_rewrite(machine, conf, "fuzzed", *example)
+        assert result.ok, (seed, known, result.reason, result.message)
+        for args in FLAG_SWEEP:
+            effective = tuple(
+                example[i] if (i + 1) in known else args[i] for i in range(2)
+            )
+            want = machine.call("fuzzed", *effective).int_return
+            got = machine.call(result.entry, *effective).int_return
+            assert got == want, (seed, known, effective, source)

@@ -82,3 +82,83 @@ def test_memory_hook_can_count_remote_accesses(machine):
     out = machine.call(result.entry, remote_seg.base, 4)
     assert math.isclose(out.float_return, 8.0)
     assert len(remote) == 4
+
+
+# ---- regression pin: memory-hook rdi save must be an absolute cell ----
+#
+# The tracer's hook injection once saved rdi to a stack-relative slot
+# sized from the *running* min_stack estimate.  A hook firing early in
+# the trace — before later code grew the frame — could then share its
+# save slot with a spill slot allocated afterwards, and the hook's save
+# would clobber the spilled local.  The fix stores rdi in an absolute
+# heap scratch cell.  This source forces the collision shape: a dozen
+# simultaneously-live temporaries (deep spill slots) around hooked loads.
+SPILL_SOURCE = """
+noinline long churn(long *a, long x) {
+    long t1 = x + 1;
+    long t2 = x ^ 3;
+    long t3 = x * 5;
+    long t4 = x - 7;
+    long t5 = x * x;
+    long t6 = t1 + t2;
+    long t7 = t3 - t4;
+    long t8 = t5 ^ t1;
+    long t9 = t2 * 3;
+    long t10 = t4 + t5;
+    long t11 = t6 - t9;
+    long t12 = t7 + t8;
+    long v = a[0] + a[1];
+    return v + t1 - t2 + t3 - t4 + t5 - t6 + t7 - t8 + t9 - t10 + t11 - t12;
+}
+"""
+
+
+def test_memory_hook_save_survives_late_spill_slots():
+    """Hooked rewrite of a spill-heavy function computes exactly what the
+    original does (the old stack-slot save corrupted a live local)."""
+    m = Machine()
+    m.load(SPILL_SOURCE)
+    seen = []
+    hook = m.register_host_function("mem_hook", lambda cpu: seen.append(cpu.regs[7]))
+    conf = brew_init_conf()
+    conf.memory_hook = hook
+    result = brew_rewrite(m, conf, "churn", 0, 0)
+    assert result.ok, result.message
+    buf = m.image.malloc(2 * 8)
+    for x in (0, 1, 13, -5, 1 << 20):
+        for a0, a1 in ((3, 4), (-100, 100)):
+            m.memory.write_u64(buf, a0 & (2**64 - 1))
+            m.memory.write_u64(buf + 8, a1 & (2**64 - 1))
+            want = m.call("churn", buf, x).int_return
+            got = m.call(result.entry, buf, x).int_return
+            assert got == want, f"x={x} a=({a0},{a1}): {got} != {want}"
+    assert seen, "hook never fired"
+
+
+def test_memory_hook_save_targets_absolute_cell():
+    """Pin the mechanism, not just the behaviour: the mov right before
+    each hook call sequence must write rdi to an absolute address, never
+    an rsp-relative slot."""
+    m = Machine()
+    m.load(SPILL_SOURCE)
+    hook = m.register_host_function("mem_hook", lambda cpu: None)
+    conf = brew_init_conf()
+    conf.memory_hook = hook
+    result = brew_rewrite(m, conf, "churn", 0, 0)
+    assert result.ok, result.message
+    lines = m.disassemble_function(result.entry).splitlines()
+    hook_calls = [i for i, line in enumerate(lines) if "call mem_hook" in line]
+    assert hook_calls, "no instrumented loads in a load-heavy function"
+    for i in hook_calls:
+        # sequence: mov <scratch>, rdi ... lea rdi, <addr> ; call ; mov
+        # rdi, <scratch> — the restore directly after the call names the
+        # scratch location unambiguously
+        restore = lines[i + 1]
+        assert "mov rdi," in restore and "rsp" not in restore, (
+            f"stack-relative hook scratch: {restore}"
+        )
+        # and the matching save into that same absolute cell exists
+        cell = restore.split("mov rdi, ")[1]
+        assert any(f"mov {cell}, rdi" in line for line in lines[:i]), (
+            f"no absolute save for {cell}"
+        )

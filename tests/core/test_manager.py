@@ -200,3 +200,48 @@ def test_multi_guard_chain(setup):
     for x in (0, 5, -2):
         for k in (3, 4, 7, 11):  # 11 falls through to the original
             assert m.call(stub, x, k).int_return == x * k + k, (x, k)
+
+
+def test_invalidate_memory_return_value_direct(setup):
+    """Direct coverage of the ``invalidate_memory`` contract: the return
+    value is exactly the number of dropped variants, per call."""
+    m, mgr = setup
+    cfg_a = m.image.malloc(16)
+    cfg_b = m.image.malloc(16)
+    m.memory.write_u64(cfg_a, 3)
+    m.memory.write_u64(cfg_b, 4)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    assert mgr.get(conf, "apply_cfg", 0, cfg_a).ok
+    conf_b = brew_init_conf()
+    brew_setpar(conf_b, 2, BREW_PTR_TO_KNOWN)
+    assert mgr.get(conf_b, "apply_cfg", 0, cfg_b).ok
+    assert len(mgr) == 2
+    # empty range: nothing dropped, epoch still bumps
+    epoch = mgr.epoch
+    assert mgr.invalidate_memory(0, 0) == 0
+    assert mgr.epoch == epoch + 1
+    # one descriptor's cell: exactly one variant dropped
+    assert mgr.invalidate_memory(cfg_a, cfg_a + 8) == 1
+    # everything: the remaining one
+    assert mgr.invalidate_memory(0, 2**48) == 1
+    assert mgr.invalidate_memory(0, 2**48) == 0
+    assert len(mgr) == 0
+
+
+def test_stats_keys_complete(setup):
+    """``stats()`` exposes the full health vocabulary, including the
+    cache-size and eviction counters."""
+    m, mgr = setup
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    mgr.get(conf, "poly", 0, 3)
+    stats = mgr.stats()
+    for key in ("hits", "misses", "fallbacks", "quarantine_hits",
+                "quarantine_retries", "quarantined", "cached",
+                "evictions", "code_dedup", "epoch"):
+        assert key in stats, key
+    assert stats["cached"] == 1 and stats["evictions"] == 0
+    assert mgr.invalidate_function("poly") == 1
+    assert mgr.stats()["evictions"] == 1
+    assert mgr.stats()["cached"] == 0

@@ -1,0 +1,82 @@
+"""Counter/histogram/registry semantics and snapshot determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Counter, CycleHistogram, Metrics
+
+
+def test_counter_inc_and_gauge_set():
+    c = Counter("x")
+    assert c.inc() == 1
+    assert c.inc(5) == 6
+    c.set(2)
+    assert c.value == 2
+
+
+def test_histogram_power_of_two_buckets():
+    h = CycleHistogram("lat")
+    for v in (0, 1, 2, 3, 4, 1023, 1024):
+        h.record(v)
+    # 0,1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2; 1023 -> 9; 1024 -> 10
+    assert h.buckets == {0: 2, 1: 2, 2: 1, 9: 1, 10: 1}
+    assert h.count == 7 and h.max_value == 1024
+    assert h.mean == (0 + 1 + 2 + 3 + 4 + 1023 + 1024) / 7
+    summary = h.summary()
+    assert summary["count"] == 7 and summary["buckets"]["10"] == 1
+
+
+def test_histogram_clamps_negatives_and_floors_floats():
+    h = CycleHistogram("lat")
+    h.record(-5)
+    h.record(2.9)
+    assert h.buckets == {0: 1, 1: 1}
+    assert h.total == 2
+
+
+def test_registry_lazy_creation_and_value():
+    metrics = Metrics()
+    assert metrics.value("never.charged") == 0
+    metrics.inc("a.hits")
+    metrics.inc("a.hits", 2)
+    metrics.set("a.depth", 7)
+    metrics.record("a.cycles", 100)
+    assert metrics.value("a.hits") == 3
+    assert metrics.value("a.depth") == 7
+    assert metrics.histogram("a.cycles").count == 1
+    assert metrics.counter("a.hits") is metrics.counter("a.hits")
+
+
+def test_as_dict_sorted_and_snapshot_json_one_line():
+    metrics = Metrics()
+    metrics.inc("z.last")
+    metrics.inc("a.first")
+    metrics.record("m.h", 5)
+    doc = metrics.as_dict()
+    assert list(doc["counters"]) == ["a.first", "z.last"]
+    snap = metrics.snapshot_json()
+    assert "\n" not in snap
+    assert json.loads(snap) == doc
+
+
+def test_snapshot_is_deterministic_across_charge_orders():
+    """Same charges, different order -> byte-identical snapshot (the
+    contract the service determinism suite builds on)."""
+    m1, m2 = Metrics(), Metrics()
+    m1.inc("a")
+    m1.inc("b", 2)
+    m1.record("h", 9)
+    m2.record("h", 9)
+    m2.inc("b", 2)
+    m2.inc("a")
+    assert m1.snapshot_json() == m2.snapshot_json()
+
+
+def test_merge_counters_into_accumulates():
+    metrics = Metrics()
+    metrics.inc("hits", 3)
+    out = {"hits": 1, "other": 5}
+    merged = metrics.merge_counters_into(out)
+    assert merged is out
+    assert out == {"hits": 4, "other": 5}

@@ -1,0 +1,1 @@
+"""Background rewrite service tests."""

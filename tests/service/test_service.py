@@ -1,0 +1,192 @@
+"""RewriteService behaviour: non-blocking misses, publication, coalescing,
+invalidation withdrawal, thread mode, and the DispatchTable itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brew_init_conf, brew_setpar, BREW_KNOWN, BREW_PTR_TO_KNOWN
+from repro.core.dispatch import DispatchTable
+from repro.core.manager import SpecializationManager
+from repro.core.resilience import RewriteSupervisor
+from repro.machine.vm import Machine
+from repro.obs import Metrics
+from repro.service import RewriteService
+
+SOURCE = """
+struct Cfg { long scale; long bias; };
+noinline long apply_cfg(long x, struct Cfg *c) { return x * c->scale + c->bias; }
+noinline long poly(long x, long k) { return x * k + k; }
+"""
+
+
+@pytest.fixture()
+def machine() -> Machine:
+    m = Machine()
+    m.load(SOURCE)
+    return m
+
+
+def _poly_conf():
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    return conf
+
+
+# --------------------------------------------------------- dispatch table
+def test_dispatch_table_publish_lookup_withdraw():
+    table = DispatchTable()
+    assert table.lookup("k") is None
+    assert table.lookup("k", 7) == 7
+    table.publish("k", 100)
+    table.publish("j", 200)
+    assert table.lookup("k") == 100 and "k" in table and len(table) == 2
+    table.publish("k", 150)  # republish replaces atomically
+    assert table.lookup("k") == 150
+    assert table.withdraw(["k", "missing"]) == 1
+    assert "k" not in table and len(table) == 1
+
+
+# -------------------------------------------------------------- step mode
+def test_cold_miss_returns_original_and_queues(machine):
+    svc = RewriteService(machine)
+    original = machine.image.resolve("poly")
+    entry = svc.request(_poly_conf(), "poly", 0, 3)
+    assert entry == original
+    assert svc.pending() == 1
+    # the original is immediately runnable — the caller never blocked
+    assert machine.call(entry, 5, 3).int_return == 18
+    stats = svc.stats()
+    assert stats["cold_misses"] == 1 and stats["publishes"] == 0
+
+
+def test_step_publishes_and_next_request_is_warm(machine):
+    svc = RewriteService(machine)
+    original = machine.image.resolve("poly")
+    svc.request(_poly_conf(), "poly", 0, 3)
+    assert svc.step() == 1
+    assert svc.pending() == 0
+    warm = svc.request(_poly_conf(), "poly", 123456, 3)  # unknown arg differs
+    assert warm != original
+    assert machine.call(warm, 5, 3).int_return == 18
+    stats = svc.stats()
+    assert stats["warm_hits"] == 1 and stats["publishes"] == 1
+
+
+def test_duplicate_requests_coalesce(machine):
+    svc = RewriteService(machine)
+    svc.request(_poly_conf(), "poly", 0, 3)
+    svc.request(_poly_conf(), "poly", 0, 3)
+    svc.request(_poly_conf(), "poly", 7, 3)
+    assert svc.pending() == 1, "same key must occupy one queue slot"
+    assert svc.stats()["coalesced"] == 2
+    assert svc.drain() == 1
+
+
+def test_distinct_keys_queue_separately(machine):
+    svc = RewriteService(machine)
+    svc.request(_poly_conf(), "poly", 0, 3)
+    svc.request(_poly_conf(), "poly", 0, 4)  # known arg differs: new key
+    assert svc.pending() == 2
+    assert svc.drain() == 2
+    e3 = svc.request(_poly_conf(), "poly", 0, 3)
+    e4 = svc.request(_poly_conf(), "poly", 0, 4)
+    assert e3 != e4
+    assert machine.call(e3, 5, 3).int_return == 18
+    assert machine.call(e4, 5, 4).int_return == 24
+
+
+def test_failed_rewrite_never_publishes(machine):
+    svc = RewriteService(machine)
+    conf = _poly_conf()
+    conf.max_output_instructions = 1  # dooms the rewrite
+    original = machine.image.resolve("poly")
+    assert svc.request(conf, "poly", 0, 3) == original
+    svc.drain()
+    assert svc.request(conf, "poly", 0, 3) == original
+    stats = svc.stats()
+    assert stats["failures"] == 1 and stats["publishes"] == 0
+    # the manager quarantined it, so the re-request coalesced into the
+    # backoff window rather than re-queueing a doomed rewrite
+    assert svc.manager.stats()["quarantined"] == 1
+
+
+def test_invalidation_withdraws_published_entries(machine):
+    svc = RewriteService(machine)
+    cfg = machine.image.malloc(16)
+    machine.memory.write_u64(cfg, 2)
+    machine.memory.write_u64(cfg + 8, 10)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    original = machine.image.resolve("apply_cfg")
+    svc.request(conf, "apply_cfg", 0, cfg)
+    svc.drain()
+    warm = svc.request(conf, "apply_cfg", 0, cfg)
+    assert warm != original
+    assert machine.call(warm, 5, cfg).int_return == 20
+    # descriptor mutates: manager eviction must withdraw the table entry
+    machine.memory.write_u64(cfg, 7)
+    assert svc.manager.invalidate_memory(cfg, cfg + 8) == 1
+    cold = svc.request(conf, "apply_cfg", 0, cfg)
+    assert cold == original, "stale specialization must not be served"
+    svc.drain()
+    fresh = svc.request(conf, "apply_cfg", 0, cfg)
+    assert machine.call(fresh, 5, cfg).int_return == 45
+    assert svc.stats()["withdrawn"] >= 1
+
+
+def test_service_routes_through_supervisor(machine):
+    """A manager whose rewrites go through a supervisor charges the
+    shared metrics registry end to end."""
+    metrics = Metrics()
+    supervisor = RewriteSupervisor(machine, metrics=metrics)
+    manager = SpecializationManager(
+        machine, rewrite_fn=supervisor.rewrite, metrics=metrics
+    )
+    svc = RewriteService(machine, manager=manager, metrics=metrics)
+    svc.request(_poly_conf(), "poly", 0, 3)
+    svc.drain()
+    entry = svc.request(_poly_conf(), "poly", 0, 3)
+    assert machine.call(entry, 5, 3).int_return == 18
+    result = manager.get(_poly_conf(), "poly", 0, 3)  # cache hit
+    assert result.validated and result.ladder_rung == 0
+    for name in ("service.requests", "service.publishes", "manager.misses",
+                 "supervisor.rewrites", "supervisor.validations"):
+        assert metrics.value(name) > 0, name
+
+
+def test_queue_depth_gauge_tracks_pending(machine):
+    svc = RewriteService(machine)
+    svc.request(_poly_conf(), "poly", 0, 3)
+    svc.request(_poly_conf(), "poly", 0, 4)
+    assert svc.metrics.value("service.queue_depth") == 2
+    svc.step()
+    svc.step()
+    assert svc.metrics.value("service.queue_depth") == 0
+
+
+def test_rejects_unknown_mode(machine):
+    with pytest.raises(ValueError):
+        RewriteService(machine, mode="fibers")
+
+    svc = RewriteService(machine, mode="thread")
+    with pytest.raises(RuntimeError):
+        svc.step()
+    svc.close()
+
+
+# ------------------------------------------------------------ thread mode
+def test_thread_mode_publishes_after_drain(machine):
+    svc = RewriteService(machine, mode="thread", max_workers=2)
+    try:
+        original = machine.image.resolve("poly")
+        entries = [svc.request(_poly_conf(), "poly", 0, k) for k in (3, 4, 5)]
+        assert all(e == original for e in entries)
+        svc.drain()
+        for k in (3, 4, 5):
+            warm = svc.request(_poly_conf(), "poly", 0, k)
+            assert warm != original
+            assert machine.call(warm, 5, k).int_return == 5 * k + k
+        assert svc.stats()["publishes"] == 3
+    finally:
+        svc.close()
