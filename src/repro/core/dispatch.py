@@ -205,24 +205,50 @@ class DispatchTable:
     Publication is a single dict assignment, which is atomic under the
     interpreter lock, so a concurrent reader sees either the old entry
     or the new one, never a torn state; the same holds for withdrawal.
+
+    An entry may additionally be **on probation** — published but not
+    yet trusted.  Snapshot-restored variants start this way: the shadow
+    sampler validates the first live call against the original, and
+    only a matching call clears the flag (continuous assurance; see
+    :mod:`repro.core.shadowexec`).  Probation is metadata; ``lookup``
+    ignores it, the service's dispatch path consults it.
     """
 
     def __init__(self) -> None:
         self._table: dict = {}
+        self._probation: set = set()
 
     def lookup(self, key, default: int | None = None) -> int | None:
         return self._table.get(key, default)
 
-    def publish(self, key, entry: int) -> None:
+    def publish(self, key, entry: int, *, probation: bool = False) -> None:
         self._table[key] = entry
+        if probation:
+            self._probation.add(key)
+        else:
+            self._probation.discard(key)
 
     def withdraw(self, keys) -> int:
         """Remove published entries; returns how many were present."""
         dropped = 0
         for key in keys:
+            self._probation.discard(key)
             if self._table.pop(key, None) is not None:
                 dropped += 1
         return dropped
+
+    def on_probation(self, key) -> bool:
+        """Whether ``key`` is published but awaiting its first
+        shadow-validated call."""
+        return key in self._probation
+
+    def clear_probation(self, key) -> bool:
+        """Mark ``key`` trusted (its shadow call matched); returns
+        whether it had been on probation."""
+        if key in self._probation:
+            self._probation.discard(key)
+            return True
+        return False
 
     def entries(self) -> set:
         """The set of currently published entry addresses."""

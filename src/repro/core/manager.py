@@ -36,6 +36,7 @@ from typing import Callable
 
 from repro.core.config import FunctionConfig, Knownness, RewriteConfig
 from repro.core.rewriter import RewriteResult, rewrite
+from repro.errors import RewriteFailure
 from repro.obs import Metrics
 
 #: First-failure backoff window in (clock) seconds; doubles per repeat.
@@ -348,6 +349,88 @@ class SpecializationManager:
         self.code_dedup += 1
         self.metrics.inc("manager.code_dedup")
         return replace(result, entry=entry, name=name)
+
+    def cached_result(self, key: tuple) -> RewriteResult | None:
+        """The cached :class:`RewriteResult` under ``key`` (no freshness
+        check, no counters) — mirror layers use this to read the world
+        signature of an entry they are about to withdraw."""
+        entry = self._cache.get(key)
+        return entry.result if entry is not None else None
+
+    def __contains__(self, key: tuple) -> bool:
+        """Whether ``key`` is currently cached — the publish-side check
+        that closes the invalidate-during-rewrite race (a worker must
+        not publish an entry the manager has already evicted)."""
+        return key in self._cache
+
+    def quarantine_key(
+        self, key: tuple, reason: str = "shadow-divergence", message: str = ""
+    ) -> RewriteResult:
+        """File a synthetic *failed* entry under ``key``.
+
+        The continuous-assurance path: a published variant that diverged
+        under shadow sampling is withdrawn by evicting its cache entry
+        (which fires the invalidation listeners, so every published
+        alias disappears atomically) and replaced with a quarantined
+        failure.  Later ``get`` calls serve the original while the
+        backoff window is open, then retry — exactly the PR-1 ladder a
+        rewrite-time failure takes.  Returns the quarantine result."""
+        failure = RewriteFailure(reason, message or reason)
+        prior = self._cache.get(key)
+        fail_count = 1
+        if prior is not None:
+            if not prior.result.ok:
+                fail_count = prior.fail_count + 1
+            self._evict([key])
+        result = RewriteResult(
+            ok=False, original=key[0], reason=failure.reason, message=str(failure)
+        )
+        self._cache[key] = _Entry(
+            result,
+            [],
+            fail_count=fail_count,
+            retry_at=self.clock() + self._backoff(fail_count),
+        )
+        self.metrics.inc("manager.shadow_quarantines")
+        return result
+
+    # ------------------------------------------------- persistence support
+    def export_entries(self) -> list[tuple[tuple, RewriteResult, list, int, float]]:
+        """The cache as ``(key, result, memory_deps, fail_count,
+        backoff_remaining)`` rows — everything the snapshot writer needs;
+        ``backoff_remaining`` is relative to the manager clock so restore
+        re-anchors quarantine windows on the new process's clock."""
+        now = self.clock()
+        return [
+            (
+                key,
+                entry.result,
+                list(entry.memory_deps),
+                entry.fail_count,
+                max(0.0, entry.retry_at - now) if not entry.result.ok else 0.0,
+            )
+            for key, entry in self._cache.items()
+        ]
+
+    def restore_entry(
+        self,
+        key: tuple,
+        result: RewriteResult,
+        memory_deps: list,
+        fail_count: int = 0,
+        backoff_remaining: float = 0.0,
+    ) -> None:
+        """Insert one entry restored from a snapshot (no counters move;
+        restored variants earn their hits back through ``get``)."""
+        retry_at = self.clock() + backoff_remaining if not result.ok else 0.0
+        self._cache[key] = _Entry(
+            result, list(memory_deps), fail_count=fail_count, retry_at=retry_at
+        )
+        if result.ok and result.entry is not None and result.code_size:
+            digest = hashlib.sha1(
+                self.machine.image.peek(result.entry, result.code_size)
+            ).hexdigest()
+            self._code_index.setdefault(digest, (result.entry, result.name))
 
     def invalidate_memory(self, start: int, end: int) -> int:
         """Drop every cached variant whose known memory overlaps

@@ -115,6 +115,17 @@ FAILURE_REASONS: dict[str, str] = {
     # -- post-rewrite checks ----------------------------------------------
     "validation-failed": "the differential validation gate observed the "
                          "specialized variant diverging from the original",
+    # -- continuous assurance (shadow sampling, persistence, admission) ---
+    "shadow-divergence": "a sampled shadow execution of a *published* "
+                         "variant diverged from the original on live "
+                         "arguments; the variant was withdrawn and its "
+                         "key quarantined",
+    "snapshot-corrupt": "a persisted specialization-state record failed "
+                        "its CRC or schema check during restore and was "
+                        "rejected (per entry, never the whole snapshot)",
+    "service-shed": "the rewrite service's admission control rejected a "
+                    "request: bounded queue full or the per-key retry "
+                    "budget exhausted",
     # -- interconnect faults (distributed runtime; tagged on a failed
     #    TransferReport by machine.link, never raised past the manager) ---
     "link-drop": "an interconnect bulk transfer was dropped on every "

@@ -162,6 +162,14 @@ class Image:
         self._rewrite_next = addr + size
         return addr
 
+    def reserve_rewrite(self, addr: int, size: int) -> None:
+        """Pin ``[addr, addr+size)`` of the rewrite segment as occupied
+        (snapshot restore re-places emitted bodies at their recorded
+        addresses); future ``alloc_rewrite`` calls allocate past it."""
+        if not self.seg_rewrite.base <= addr <= addr + size <= self.seg_rewrite.end:
+            raise MemoryError_(f"address 0x{addr:x} outside the rewrite segment")
+        self._rewrite_next = max(self._rewrite_next, addr + size)
+
     def emit_rewritten(self, name: str | None, code: bytes) -> int:
         """Place rewriter output into the rewrite segment."""
         addr = self.alloc_rewrite(len(code))

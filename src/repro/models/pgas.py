@@ -151,7 +151,10 @@ class PgasLab:
         the callers' critical path through a
         :class:`~repro.service.RewriteService` whose manager routes every
         rewrite through this lab's supervisor (ladder + validation gate).
-        Stored on ``self.service`` and returned."""
+        Continuous-assurance options pass straight through — e.g.
+        ``shadow_interval=8`` samples warm dispatches made via
+        :meth:`sum_via_service`, ``max_queue_depth=``/``retry_budget=``
+        bound the queue.  Stored on ``self.service`` and returned."""
         from repro.core.manager import SpecializationManager
         from repro.obs import Metrics
         from repro.service import RewriteService
@@ -183,6 +186,21 @@ class PgasLab:
         return self.service.request(
             conf, "ga_sum_range",
             self.ga_addr, 0, 0, self.machine.symbol("ga_get"),
+        )
+
+    def sum_via_service(self, lo: int, hi: int, passes: tuple[str, ...] = ()):
+        """The reduction over ``[lo, hi)``, dispatched *and executed*
+        through the continuously assured path: ``service.call`` samples
+        warm dispatches against the original (when the attached service
+        has a shadow sampler) so a silently wrong variant is withdrawn
+        instead of trusted forever.  Returns the ``RunResult``."""
+        conf = brew_init_conf()
+        brew_setpar(conf, 1, BREW_PTR_TO_KNOWN)
+        brew_setpar(conf, 4, BREW_KNOWN)
+        conf.passes = passes
+        return self.service.call(
+            conf, "ga_sum_range",
+            self.ga_addr, lo, hi, self.machine.symbol("ga_get"),
         )
 
     def attach_interconnect(self, *, faults=None, seed: int = 0, **options):

@@ -223,7 +223,10 @@ class StencilLab:
         """Opt this lab into background specialization (mirror of
         :meth:`repro.models.pgas.PgasLab.attach_service`): a
         :class:`~repro.service.RewriteService` whose manager routes every
-        rewrite through this lab's supervisor."""
+        rewrite through this lab's supervisor.  Continuous-assurance
+        options pass through — ``shadow_interval=`` samples warm
+        dispatches made via :meth:`apply_cell_via_service`,
+        ``max_queue_depth=``/``retry_budget=`` bound the queue."""
         from repro.core.manager import SpecializationManager
         from repro.obs import Metrics
         from repro.service import RewriteService
@@ -251,6 +254,24 @@ class StencilLab:
         conf.deferred_spills = deferred_spills
         m_example = self.m1 + 8 * (self.xs + 1)
         return self.service.request(conf, "apply", m_example, self.xs, self.s_addr)
+
+    def apply_cell_via_service(
+        self, x: int, y: int,
+        passes: tuple[str, ...] = (), deferred_spills: bool = True,
+    ):
+        """One stencil application at ``(x, y)``, dispatched *and
+        executed* through the continuously assured path (mirror of
+        :meth:`repro.models.pgas.PgasLab.sum_via_service`): when the
+        attached service has a shadow sampler, sampled warm calls are
+        compared against the original ``apply`` and a diverging variant
+        is withdrawn.  Returns the ``RunResult``."""
+        conf = brew_init_conf()
+        brew_setpar(conf, 2, BREW_KNOWN)
+        brew_setpar(conf, 3, BREW_PTR_TO_KNOWN)
+        conf.passes = passes
+        conf.deferred_spills = deferred_spills
+        mp = self.m1 + 8 * (y * self.xs + x)
+        return self.service.call(conf, "apply", mp, self.xs, self.s_addr)
 
     # ---------------------------------------------------------- matrices
     def reset_matrices(self) -> None:

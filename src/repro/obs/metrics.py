@@ -138,3 +138,14 @@ class Metrics:
         for name in sorted(self._counters):
             out[name] = out.get(name, 0) + self._counters[name].value
         return out
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Sorted ``{name: value}`` of every counter under ``prefix``
+        (e.g. ``"shadow."`` → the whole shadow-sampling family) — how
+        the assurance layers surface their counter namespaces without
+        hard-coding each name."""
+        return {
+            name: self._counters[name].value
+            for name in sorted(self._counters)
+            if name.startswith(prefix)
+        }

@@ -16,10 +16,21 @@ manager invalidations withdraw them just as atomically.  Two worker
 modes share one code path: deterministic single-thread ``step`` mode
 (tests drive the queue explicitly and runs are bit-for-bit reproducible)
 and ``thread`` mode backed by a real ``ThreadPoolExecutor``.
+
+PR-4 adds the **continuous assurance** layer: sampled shadow execution
+of published variants (``shadow_interval=`` + the :meth:`call` dispatch
+path), crash-safe snapshot/restore of the whole specialization state
+(``save_snapshot``/``restore_snapshot``, format in
+:mod:`repro.core.persist`), and admission control under overload
+(``max_queue_depth``/``retry_budget``/``watchdog_max_trace_steps``).
+The EXT-5 soak experiment (:mod:`repro.experiments.soak_exp`) proves the
+whole loop: injected miscompiles are caught within the sampling window,
+restart-mid-soak restores the cache, overload sheds deterministically.
 """
 
 from repro.service.rewrite_service import (
     REWRITE_CYCLES_PER_TRACED_INSN,
+    SHED_LOG_LIMIT,
     RewriteService,
     modeled_rewrite_cycles,
 )
@@ -27,5 +38,6 @@ from repro.service.rewrite_service import (
 __all__ = [
     "RewriteService",
     "REWRITE_CYCLES_PER_TRACED_INSN",
+    "SHED_LOG_LIMIT",
     "modeled_rewrite_cycles",
 ]

@@ -19,6 +19,33 @@ metrics snapshot.  The service therefore never records host time — its
 latency histogram is in *modelled cycles*,
 ``traced_instructions × REWRITE_CYCLES_PER_TRACED_INSN``, the same cost
 model the EXT-4 amortization experiment uses for its crossover point.
+
+Continuous assurance
+--------------------
+Three production hazards the PR-3 service ignored are handled here (the
+EXT-5 soak experiment exercises all three end to end):
+
+* **Silent miscompiles after publication** — construct the service with
+  ``shadow_interval`` and dispatch through :meth:`call`: a deterministic
+  seeded fraction of warm calls is shadow-executed against the original
+  (:class:`~repro.core.shadowexec.ShadowSampler`); a divergence
+  atomically withdraws every published alias, quarantines the key
+  through the manager's backoff ladder under the ``shadow-divergence``
+  reason, and records a minimized :class:`DivergenceRepro` (arguments +
+  world signature) on :attr:`divergences`.
+
+* **State loss on restart** — :meth:`save_snapshot` /
+  :meth:`restore_snapshot` persist the manager's cache (versioned,
+  per-record CRC; see :mod:`repro.core.persist`).  Restored variants are
+  republished **on probation**: the first :meth:`call` shadow-validates
+  each one before it rejoins steady-state sampling.
+
+* **Overload** — ``max_queue_depth`` bounds the queue with a
+  deterministic shed policy (the incoming request is rejected,
+  ``service-shed``, callers keep the original), ``retry_budget`` caps
+  background retries per key, and ``watchdog_max_trace_steps`` clamps
+  every queued rewrite's trace budget so a stuck rewrite aborts into
+  the supervisor's degradation ladder instead of wedging a worker.
 """
 
 from __future__ import annotations
@@ -28,10 +55,13 @@ from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
+from repro.errors import RewriteFailure
 from repro.core.config import RewriteConfig
 from repro.core.dispatch import DispatchTable
 from repro.core.manager import SpecializationManager
+from repro.core.persist import RestoreReport, load_manager, save_manager
 from repro.core.rewriter import RewriteResult
+from repro.core.shadowexec import DivergenceRepro, ShadowSampler
 from repro.obs import Metrics
 
 #: Modelled cost of rewriting, in emulated cycles per traced
@@ -42,6 +72,9 @@ from repro.obs import Metrics
 #: a *deterministic* stand-in for host time, so amortization crossovers
 #: and latency histograms are reproducible across runs and machines.
 REWRITE_CYCLES_PER_TRACED_INSN = 50
+
+#: How many shed events :attr:`RewriteService.shed_log` retains.
+SHED_LOG_LIMIT = 32
 
 
 def modeled_rewrite_cycles(result: RewriteResult) -> int:
@@ -55,16 +88,18 @@ class RewriteService:
     ``mode="step"`` (default) queues work until :meth:`step` or
     :meth:`drain` runs it on the calling thread — fully deterministic.
     ``mode="thread"`` submits work to a ``ThreadPoolExecutor``; workers
-    serialize on :attr:`lock` because the simulated machine is a shared
-    mutable image.  Callers that execute simulated code concurrently
-    with in-flight rewrites must hold the same lock; the benchmarks
-    simply :meth:`drain` first.
+    serialize on :attr:`lock` (reentrant — invalidation listeners may
+    fire while a worker already holds it) because the simulated machine
+    is a shared mutable image.  Callers that execute simulated code
+    concurrently with in-flight rewrites must hold the same lock; the
+    benchmarks simply :meth:`drain` first.
 
     Pass a ``manager`` (and optionally route its rewrites through a
     :class:`~repro.core.resilience.RewriteSupervisor` via the manager's
     ``rewrite_fn``) to share caching policy with synchronous callers;
     by default the service builds a private manager charging the same
-    metrics registry.
+    metrics registry.  ``shadow_interval`` opts the :meth:`call`
+    dispatch path into online shadow validation (module docstring).
     """
 
     def __init__(
@@ -76,6 +111,11 @@ class RewriteService:
         max_workers: int = 2,
         metrics: Metrics | None = None,
         rewrite_fn: Callable[..., RewriteResult] | None = None,
+        shadow_interval: int | None = None,
+        shadow_seed: int = 0,
+        max_queue_depth: int | None = None,
+        retry_budget: int | None = None,
+        watchdog_max_trace_steps: int | None = None,
     ) -> None:
         if mode not in ("step", "thread"):
             raise ValueError(f"unknown service mode {mode!r}")
@@ -90,8 +130,28 @@ class RewriteService:
             )
         self.manager = manager
         self.table = DispatchTable()
-        #: Serializes every machine mutation (rewrites) in thread mode.
-        self.lock = threading.Lock()
+        #: Serializes every machine mutation (rewrites, shadow runs,
+        #: snapshot restore) in thread mode.  Reentrant: a manager
+        #: eviction *during* a locked rewrite fires the invalidation
+        #: listener, which takes this lock again on the same thread.
+        self.lock = threading.RLock()
+        #: Online shadow sampler (None = :meth:`call` dispatches blind).
+        self.shadow = (
+            ShadowSampler(
+                machine, interval=shadow_interval, seed=shadow_seed,
+                metrics=metrics,
+            )
+            if shadow_interval is not None
+            else None
+        )
+        #: Minimized reproductions of every shadow divergence observed.
+        self.divergences: list[DivergenceRepro] = []
+        #: Most recent shed events as ``(key, message)`` (bounded).
+        self.shed_log: deque = deque(maxlen=SHED_LOG_LIMIT)
+        self.max_queue_depth = max_queue_depth
+        self.retry_budget = retry_budget
+        self.watchdog_max_trace_steps = watchdog_max_trace_steps
+        self._retry_counts: dict = {}
         self._queue: deque = deque()
         self._inflight: set = set()
         self._futures: list[Future] = []
@@ -102,6 +162,11 @@ class RewriteService:
         )
         #: manager cache key -> set of published table keys (aliases)
         self._aliases: dict = {}
+        #: published table key -> owning manager cache key
+        self._alias_owner: dict = {}
+        #: keys whose next publication must start on probation (they
+        #: were withdrawn for a shadow divergence and must re-validate)
+        self._requalify: set = set()
         manager.add_invalidation_listener(self._on_invalidation)
 
     # ------------------------------------------------------------------ api
@@ -111,7 +176,10 @@ class RewriteService:
         Warm hit: the published specialized entry.  Cold miss: the
         original entry, with the rewrite queued in the background (one
         queue slot per key — concurrent requests for the same key
-        coalesce).  The caller never waits on a rewrite.
+        coalesce).  Under overload the admission controller sheds the
+        request instead of queueing it (the caller still gets the
+        original — shedding is invisible except in the counters).  The
+        caller never waits on a rewrite.
         """
         self.metrics.inc("service.requests")
         key = self.manager.key_for(fn, conf, args)
@@ -124,6 +192,20 @@ class RewriteService:
         if key in self._inflight:
             self.metrics.inc("service.coalesced")
             return original
+        if self._executor is not None:
+            # prune completed futures so the list (and pending() scans)
+            # stay bounded between drains; futures that crashed are kept
+            # so drain() still propagates their exception
+            self._futures = [
+                f for f in self._futures
+                if not f.done() or f.exception() is not None
+            ]
+        shed_reason = self._admit(key)
+        if shed_reason is not None:
+            failure = RewriteFailure("service-shed", shed_reason)
+            self.metrics.inc("service.shed")
+            self.shed_log.append((key, f"{failure.reason}: {failure}"))
+            return original
         self._inflight.add(key)
         # the caller may keep mutating its config before the worker
         # runs; snapshot it so the rewrite sees the requested state
@@ -134,6 +216,40 @@ class RewriteService:
             self._queue.append(work)
         self.metrics.set("service.queue_depth", self.pending())
         return original
+
+    def call(self, conf: RewriteConfig, fn, *args, max_steps: int | None = None):
+        """Dispatch *and execute*: the continuously assured entry point.
+
+        Resolves the current best entry via :meth:`request` and runs it.
+        When a shadow sampler is attached and this call is sampled (or
+        the entry is on post-restore probation), the call is
+        shadow-executed against the original: a matching variant keeps
+        its effects and (if on probation) is admitted; a diverging one
+        is rolled back, withdrawn, quarantined, and the caller receives
+        the original's result — a sampled call never returns a wrong
+        answer.  Returns the :class:`~repro.machine.cpu.RunResult`.
+        """
+        entry = self.request(conf, fn, *args)
+        original = self.machine.image.resolve(fn)
+        run_kwargs = {} if max_steps is None else {"max_steps": max_steps}
+        if entry == original or self.shadow is None:
+            return self.machine.call(entry, *args, **run_kwargs)
+        key = self.manager.key_for(fn, conf, args)
+        probation = self.table.on_probation(key)
+        if not probation and not self.shadow.decide(key):
+            return self.machine.call(entry, *args, **run_kwargs)
+        with self.lock:
+            outcome = self.shadow.run_shadowed(
+                entry, original, tuple(args), max_steps
+            )
+            if outcome.divergence is None:
+                if probation and not outcome.unjudged:
+                    self._admit_from_probation(key)
+                return outcome.run
+            self._handle_divergence(
+                key, tuple(args), entry, original, outcome.divergence
+            )
+        return outcome.run
 
     def step(self, limit: int = 1) -> int:
         """Run up to ``limit`` queued rewrites on the calling thread
@@ -163,6 +279,32 @@ class RewriteService:
             return sum(1 for f in self._futures if not f.done())
         return len(self._queue)
 
+    # -------------------------------------------------------- persistence
+    def save_snapshot(self, path) -> None:
+        """Persist the manager's cache (crash-safe: temp file + rename);
+        see :mod:`repro.core.persist` for the format."""
+        with self.lock:
+            save_manager(self.manager, path)
+
+    def restore_snapshot(self, path) -> RestoreReport:
+        """Warm-restart path: restore the manager cache from ``path``
+        and republish every restored variant **on probation** — each one
+        is re-admitted only after one shadow-validated :meth:`call`.
+        Corrupt or schema-mismatched records were rejected per entry by
+        the loader (``snapshot-corrupt``); the report says which."""
+        with self.lock:
+            report = load_manager(self.manager, path)
+            for key in report.restored_ok:
+                result = self.manager.cached_result(key)
+                if result is None or not result.ok or result.entry is None:
+                    continue
+                self.table.publish(key, result.entry, probation=True)
+                self._aliases.setdefault(key, set()).add(key)
+                self._alias_owner[key] = key
+                self.metrics.inc("service.restored_publishes")
+        return report
+
+    # ------------------------------------------------------------- health
     def stats(self) -> dict[str, int]:
         """Service-level health (manager stats are separate)."""
         return {
@@ -173,6 +315,12 @@ class RewriteService:
             "publishes": self.metrics.value("service.publishes"),
             "failures": self.metrics.value("service.failures"),
             "withdrawn": self.metrics.value("service.withdrawn"),
+            "shed": self.metrics.value("service.shed"),
+            "publish_races": self.metrics.value("service.publish_races"),
+            "restored_publishes": self.metrics.value("service.restored_publishes"),
+            "shadow_samples": self.metrics.value("shadow.samples"),
+            "shadow_divergences": self.metrics.value("shadow.divergences"),
+            "probation_admits": self.metrics.value("shadow.probation_admits"),
             "pending": self.pending(),
             "published": len(self.table),
         }
@@ -183,36 +331,112 @@ class RewriteService:
             self._executor.shutdown(wait=True)
 
     # ------------------------------------------------------------- internal
+    def _admit(self, key) -> str | None:
+        """Admission control: None to enqueue, else the shed reason.
+
+        Deterministic by construction — the decision depends only on
+        queue depth and per-key retry history, both of which are
+        replayed identically by a seeded step-mode workload."""
+        if (
+            self.max_queue_depth is not None
+            and self.pending() >= self.max_queue_depth
+        ):
+            return f"queue full (depth {self.max_queue_depth})"
+        if (
+            self.retry_budget is not None
+            and self._retry_counts.get(key, 0) >= self.retry_budget
+        ):
+            return f"retry budget exhausted ({self.retry_budget})"
+        return None
+
+    def _admit_from_probation(self, key) -> None:
+        """A probation entry's shadow call matched: trust it (and every
+        alias of the same cache entry) for steady-state sampling."""
+        owner = self._alias_owner.get(key, key)
+        cleared = False
+        for alias in self._aliases.get(owner, {key}):
+            cleared |= self.table.clear_probation(alias)
+        if cleared:
+            self.metrics.inc("shadow.probation_admits")
+
+    def _handle_divergence(
+        self, key, args: tuple, entry: int, original: int, description: str
+    ) -> None:
+        """Withdraw + quarantine + record: the shadow caught a published
+        variant lying.  Quarantining the manager key evicts the cache
+        entry, which fires the invalidation listener and withdraws every
+        published alias — one atomic step under the service lock."""
+        owner = self._alias_owner.get(key, key)
+        cached = self.manager.cached_result(owner)
+        known_reads = cached.known_reads if cached is not None else ()
+        failure = RewriteFailure("shadow-divergence", description)
+        self.divergences.append(DivergenceRepro(
+            key=owner, args=args, entry=entry, original=original,
+            description=description, known_reads=tuple(known_reads),
+            failure=failure,
+        ))
+        self.manager.quarantine_key(owner, failure.reason, description)
+        # the eviction listener withdrew the aliases; cover the direct
+        # key too in case it was published before alias tracking saw it
+        self.table.withdraw([key])
+        self._requalify.update({key, owner})
+        self.metrics.inc("service.shadow_withdrawn")
+
     def _locked_perform(self, work) -> None:
         with self.lock:
             self._perform(work)
 
     def _perform(self, work) -> None:
         key, conf, fn, args = work
-        result = self.manager.get(conf, fn, *args)
-        manager_key = self.manager.key_for(fn, conf, args)
-        self._inflight.discard(key)
-        if result.ok and result.entry is not None:
-            aliases = self._aliases.setdefault(manager_key, set())
-            for alias in {key, manager_key}:
-                self.table.publish(alias, result.entry)
-                aliases.add(alias)
-            self.metrics.inc("service.publishes")
-            self.metrics.record(
-                "service.rewrite_cycles", modeled_rewrite_cycles(result)
+        if self.watchdog_max_trace_steps is not None:
+            # the step-budget watchdog: a stuck rewrite aborts with
+            # `trace-limit` (retryable) and degrades down the ladder
+            # instead of wedging the worker
+            conf.max_trace_steps = min(
+                conf.max_trace_steps, self.watchdog_max_trace_steps
             )
+        try:
+            result = self.manager.get(conf, fn, *args)
+            manager_key = self.manager.key_for(fn, conf, args)
+        finally:
+            # unconditionally: a crashing manager/rewrite_fn must not
+            # pin the key in _inflight forever (every later request
+            # would coalesce against a rewrite that will never land)
+            self._inflight.discard(key)
+        if result.ok and result.entry is not None:
+            if manager_key not in self.manager:
+                # an invalidation raced the rewrite and already evicted
+                # the cache entry: publishing now would expose a stale
+                # variant with nobody left to withdraw it
+                self.metrics.inc("service.publish_races")
+            else:
+                probation = bool(self._requalify & {key, manager_key})
+                self._requalify -= {key, manager_key}
+                aliases = self._aliases.setdefault(manager_key, set())
+                for alias in {key, manager_key}:
+                    self.table.publish(alias, result.entry, probation=probation)
+                    aliases.add(alias)
+                    self._alias_owner[alias] = manager_key
+                self.metrics.inc("service.publishes")
+                self.metrics.record(
+                    "service.rewrite_cycles", modeled_rewrite_cycles(result)
+                )
         else:
             # graceful degradation: callers keep getting the original
             # (and re-requesting; the manager's quarantine backoff keeps
-            # retry traffic bounded)
+            # retry traffic bounded, the service's retry budget caps it)
+            self._retry_counts[key] = self._retry_counts.get(key, 0) + 1
             self.metrics.inc("service.failures")
         self.metrics.set("service.queue_depth", self.pending())
 
     def _on_invalidation(self, dropped_keys: list) -> None:
-        withdrawn = 0
-        for manager_key in dropped_keys:
-            aliases = self._aliases.pop(manager_key, None)
-            if aliases:
-                withdrawn += self.table.withdraw(aliases)
-        if withdrawn:
-            self.metrics.inc("service.withdrawn", withdrawn)
+        with self.lock:
+            withdrawn = 0
+            for manager_key in dropped_keys:
+                aliases = self._aliases.pop(manager_key, None)
+                if aliases:
+                    withdrawn += self.table.withdraw(aliases)
+                    for alias in aliases:
+                        self._alias_owner.pop(alias, None)
+            if withdrawn:
+                self.metrics.inc("service.withdrawn", withdrawn)

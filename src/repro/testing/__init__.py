@@ -11,6 +11,7 @@ and every induced interconnect fault as a tagged failed
 
 from repro.testing.faultinject import (
     ALL_FAULT_KINDS,
+    ASSURANCE_FAULT_KINDS,
     EXPECTED_REASON,
     FAULT_KINDS,
     NETWORK_FAULT_KINDS,
@@ -21,6 +22,7 @@ from repro.testing.faultinject import (
 
 __all__ = [
     "ALL_FAULT_KINDS",
+    "ASSURANCE_FAULT_KINDS",
     "EXPECTED_REASON",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",

@@ -35,6 +35,24 @@ wrong answer):
     ``link-drop`` / ``link-corrupt`` / ``link-delay`` /
     ``link-partition`` once the manager's retries are exhausted.
 
+Three more cover the continuous-assurance runtime (PR 4: shadow
+sampling, persistent state, admission control):
+
+``shadow``
+    The Nth shadow comparison observes the published variant returning
+    a wrong value (its int return is bit-flipped before the compare) →
+    the sampler reports a divergence and the service withdraws +
+    quarantines under reason ``shadow-divergence``.
+``snapshot``
+    The Nth record written by the snapshot encoder has a byte flipped
+    *after* its CRC was computed (what torn writes/bit rot look like)
+    → restore rejects exactly that record with ``snapshot-corrupt``.
+``shed``
+    The Nth admission decision in
+    :meth:`repro.service.rewrite_service.RewriteService.request` is
+    forced to shed → the caller keeps the original under reason
+    ``service-shed``.
+
 Injection sites are patched for the dynamic extent of the context
 manager only and restored unconditionally; injectors are reusable but
 not reentrant.
@@ -43,6 +61,7 @@ not reentrant.
 from __future__ import annotations
 
 import random
+from types import SimpleNamespace
 from typing import Iterator
 
 from repro.errors import DecodeError, EncodingError, SegmentationFault
@@ -57,8 +76,12 @@ FAULT_KINDS = ("decode", "memory", "emit", "pass")
 #: manager's retries are exhausted), never as escaping exceptions.
 NETWORK_FAULT_KINDS = ("drop", "corrupt", "delay", "partition")
 
-#: Every injectable fault class, pipeline then interconnect.
-ALL_FAULT_KINDS = FAULT_KINDS + NETWORK_FAULT_KINDS
+#: Continuous-assurance fault classes (PR 4): a lying published variant,
+#: a corrupted persisted snapshot record, a forced admission shed.
+ASSURANCE_FAULT_KINDS = ("shadow", "snapshot", "shed")
+
+#: Every injectable fault class: pipeline, interconnect, assurance.
+ALL_FAULT_KINDS = FAULT_KINDS + NETWORK_FAULT_KINDS + ASSURANCE_FAULT_KINDS
 
 #: The documented failure reason each injected fault class must surface
 #: as — ``RewriteResult.reason`` for pipeline kinds,
@@ -73,6 +96,9 @@ EXPECTED_REASON = {
     "corrupt": "link-corrupt",
     "delay": "link-delay",
     "partition": "link-partition",
+    "shadow": "shadow-divergence",
+    "snapshot": "snapshot-corrupt",
+    "shed": "service-shed",
 }
 
 #: Marker embedded in every injected exception message so tests can tell
@@ -222,6 +248,78 @@ class FaultInjector:
     def _install_partition(self):
         """Nth bulk transfer starts a latched partition on its link."""
         return self._install_network("partition")
+
+    def _install_shadow(self):
+        """Patch :meth:`repro.core.shadowexec.ShadowSampler._compare` so
+        the Nth shadow comparison sees the variant returning a
+        bit-flipped int — a silent miscompile from the comparator's
+        point of view; the organic divergence machinery (rollback,
+        withdrawal, quarantine, repro capture) does the rest."""
+        from repro.core.shadowexec import ShadowSampler
+
+        real = ShadowSampler._compare
+
+        def faulty_compare(sampler, want, run, args):
+            """Injected: the Nth compared variant returns a wrong value."""
+            if self._tick():
+                run = SimpleNamespace(
+                    uint_return=run.uint_return ^ 0x1,
+                    float_return=run.float_return,
+                )
+            return real(sampler, want, run, args)
+
+        ShadowSampler._compare = faulty_compare
+
+        def restore():
+            ShadowSampler._compare = real
+
+        return restore
+
+    def _install_snapshot(self):
+        """Patch :func:`repro.core.persist._encode_record` so the Nth
+        record written gets one byte flipped *after* its CRC was
+        computed over the clean payload — restore must reject exactly
+        that record (``snapshot-corrupt``) and keep the rest."""
+        import repro.core.persist as persist_mod
+
+        real = persist_mod._encode_record
+
+        def faulty_encode(record):
+            """Injected: bit-rot the Nth persisted snapshot record."""
+            line = real(record)
+            if self._tick():
+                mid = len(line) // 2
+                line = line[:mid] + chr(ord(line[mid]) ^ 0x1) + line[mid + 1:]
+            return line
+
+        persist_mod._encode_record = faulty_encode
+
+        def restore():
+            persist_mod._encode_record = real
+
+        return restore
+
+    def _install_shed(self):
+        """Patch :meth:`repro.service.rewrite_service.RewriteService._admit`
+        so the Nth admission decision sheds the request regardless of
+        queue depth — callers must keep receiving the original with the
+        ``service-shed`` reason in the log and counters."""
+        from repro.service.rewrite_service import RewriteService
+
+        real = RewriteService._admit
+
+        def faulty_admit(service, key):
+            """Injected: force the Nth admission decision to shed."""
+            if self._tick():
+                return f"{INJECTED_MARK}: shed"
+            return real(service, key)
+
+        RewriteService._admit = faulty_admit
+
+        def restore():
+            RewriteService._admit = real
+
+        return restore
 
     def _install_pass(self):
         """Patch the pass loader so the loaded pass function crashes with

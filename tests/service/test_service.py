@@ -175,6 +175,144 @@ def test_rejects_unknown_mode(machine):
     svc.close()
 
 
+# ------------------------------------------------- satellite regressions
+def test_inflight_released_when_the_worker_crashes(machine):
+    """A crashing manager/rewrite_fn must not pin the key in _inflight:
+    every later request would coalesce against a rewrite that will
+    never land (the cold path would be stuck on the original forever)."""
+    svc = RewriteService(machine)
+    original = machine.image.resolve("poly")
+    assert svc.request(_poly_conf(), "poly", 0, 3) == original
+
+    real_get = svc.manager.get
+
+    def crashing_get(conf, fn, *args):
+        raise RuntimeError("injected worker crash")
+
+    svc.manager.get = crashing_get
+    with pytest.raises(RuntimeError):
+        svc.step()
+    svc.manager.get = real_get
+
+    # the key is free again: the re-request queues (does NOT coalesce)
+    assert svc.request(_poly_conf(), "poly", 0, 3) == original
+    assert svc.pending() == 1
+    assert svc.stats()["coalesced"] == 0
+    svc.drain()
+    assert svc.request(_poly_conf(), "poly", 0, 3) != original
+
+
+def test_thread_mode_prunes_completed_futures(machine):
+    """The futures list must stay bounded between drains — one live
+    entry per in-flight rewrite, not one per request ever made."""
+    svc = RewriteService(machine, mode="thread", max_workers=1)
+    try:
+        import time
+
+        for k in range(3, 9):
+            svc.request(_poly_conf(), "poly", 0, k)
+            deadline = time.monotonic() + 10
+            while svc.pending() and time.monotonic() < deadline:
+                time.sleep(0.005)
+        # every submitted future completed; the next request compacts
+        svc.request(_poly_conf(), "poly", 0, 99)
+        assert len(svc._futures) == 1, "completed futures must be pruned"
+    finally:
+        svc.close()
+
+
+def test_thread_mode_keeps_crashed_futures_for_drain(machine):
+    """Pruning must not swallow worker crashes: a completed-but-failed
+    future stays queued so drain() still propagates the exception."""
+    svc = RewriteService(machine, mode="thread", max_workers=1)
+    try:
+        import time
+
+        real_get = svc.manager.get
+
+        def crashing_get(conf, fn, *args):
+            raise RuntimeError("injected worker crash")
+
+        svc.manager.get = crashing_get
+        svc.request(_poly_conf(), "poly", 0, 3)
+        deadline = time.monotonic() + 10
+        while svc.pending() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        svc.manager.get = real_get
+        svc.request(_poly_conf(), "poly", 0, 4)  # triggers compaction
+        assert len(svc._futures) == 2, "the crashed future must survive"
+        with pytest.raises(RuntimeError):
+            svc.drain()
+    finally:
+        svc._futures.clear()
+        svc.close()
+
+
+def test_invalidation_racing_a_rewrite_never_publishes_stale(machine):
+    """Deterministic interleaving of the publish/withdraw race: the
+    cache entry is invalidated after the rewrite completes but before
+    the worker publishes.  The worker must notice (the manager no
+    longer holds the key) and drop the publication."""
+    svc = RewriteService(machine)
+    cfg = machine.image.malloc(16)
+    machine.memory.write_u64(cfg, 2)
+    machine.memory.write_u64(cfg + 8, 10)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    original = machine.image.resolve("apply_cfg")
+    svc.request(conf, "apply_cfg", 0, cfg)
+
+    real_get = svc.manager.get
+
+    def racy_get(got_conf, fn, *args):
+        result = real_get(got_conf, fn, *args)
+        # the descriptor mutates in the window between rewrite
+        # completion and publication
+        machine.memory.write_u64(cfg, 7)
+        assert svc.manager.invalidate_memory(cfg, cfg + 8) == 1
+        return result
+
+    svc.manager.get = racy_get
+    svc.step()
+    svc.manager.get = real_get
+
+    assert svc.metrics.value("service.publish_races") == 1
+    assert svc.stats()["publishes"] == 0
+    assert len(svc.table) == 0, "no stale entry may be reachable"
+    # the caller keeps the original and the next cycle specializes fresh
+    assert svc.request(conf, "apply_cfg", 0, cfg) == original
+    svc.drain()
+    fresh = svc.request(conf, "apply_cfg", 0, cfg)
+    assert machine.call(fresh, 5, cfg).int_return == 45
+
+
+def test_threaded_publish_withdraw_stress_never_leaves_stale_entries(machine):
+    """Threaded stress of the same race: workers publish while the main
+    thread invalidates.  Invariant after every round: any published key
+    is backed by a live manager cache entry."""
+    svc = RewriteService(machine, mode="thread", max_workers=2)
+    cfg = machine.image.malloc(16)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    try:
+        for round_no in range(12):
+            machine.memory.write_u64(cfg, 2 + round_no)
+            machine.memory.write_u64(cfg + 8, 10)
+            svc.request(conf.copy(), "apply_cfg", 0, cfg)
+            # invalidate from the main thread while the worker rewrites
+            machine.memory.write_u64(cfg, 99 + round_no)
+            svc.manager.invalidate_memory(cfg, cfg + 8)
+            svc.drain()
+            with svc.lock:
+                stale = [
+                    key for key in svc.table._table
+                    if svc._alias_owner.get(key, key) not in svc.manager
+                ]
+            assert not stale, f"stale published keys after round {round_no}"
+    finally:
+        svc.close()
+
+
 # ------------------------------------------------------------ thread mode
 def test_thread_mode_publishes_after_drain(machine):
     svc = RewriteService(machine, mode="thread", max_workers=2)

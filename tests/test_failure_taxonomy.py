@@ -13,7 +13,10 @@ import re
 from pathlib import Path
 
 from repro.errors import FAILURE_REASONS
-from repro.testing import ALL_FAULT_KINDS, EXPECTED_REASON, NETWORK_FAULT_KINDS
+from repro.testing import (
+    ALL_FAULT_KINDS, ASSURANCE_FAULT_KINDS, EXPECTED_REASON,
+    NETWORK_FAULT_KINDS,
+)
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
@@ -76,3 +79,14 @@ def test_network_fault_reasons_cover_the_link_namespace():
         f"injectable {sorted(injectable)} != registered {sorted(link_reasons)}"
     )
     assert all(EXPECTED_REASON[k] == f"link-{k}" for k in NETWORK_FAULT_KINDS)
+
+
+def test_assurance_fault_reasons_cover_the_assurance_namespace():
+    """The continuous-assurance fault classes (shadow, snapshot, shed)
+    map exactly onto the three assurance reasons — a new assurance
+    mechanism must come with both its injectable fault class and its
+    taxonomy entry."""
+    injectable = {EXPECTED_REASON[k] for k in ASSURANCE_FAULT_KINDS}
+    assert injectable == {"shadow-divergence", "snapshot-corrupt", "service-shed"}
+    registered = injectable & set(FAILURE_REASONS)
+    assert registered == injectable
