@@ -20,6 +20,11 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+#: Repo root: every run also drops ``BENCH_<id>.json`` here so the
+#: newest numbers are always at a fixed, top-level path (CI uploads
+#: them as artifacts; local runs can diff them against the committed
+#: trajectory without digging into ``benchmarks/results/``).
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -69,9 +74,9 @@ def record_experiment(results_dir):
         print(table)
         (results_dir / f"{exp.id.lower()}.txt").write_text(table)
         slug = exp.id.lower().replace("-", "")
-        (results_dir / f"BENCH_{slug}.json").write_text(
-            json.dumps(_experiment_json(exp), indent=2, sort_keys=True) + "\n"
-        )
+        doc = json.dumps(_experiment_json(exp), indent=2, sort_keys=True) + "\n"
+        (results_dir / f"BENCH_{slug}.json").write_text(doc)
+        (REPO_ROOT / f"BENCH_{slug}.json").write_text(doc)
         failed = [c.description for c in exp.checks if not c.holds]
         assert not failed, f"{exp.id} shape checks failed: {failed}"
 

@@ -1,0 +1,14 @@
+"""EXT-6: two-tier execution engine (block-compiled vs interpreted).
+
+The benchmark's JSON record (``BENCH_ext6.json``) carries host ns per
+emulated instruction for both tiers on both workloads, the warm-cache
+speedup, and the ``jit.*`` counters — the numbers that track whether
+the simulator stays fast enough to host the larger experiments.
+"""
+
+from repro.experiments.jit_exp import ext6_blockjit
+
+
+def test_ext6_blockjit(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext6_blockjit, rounds=1, iterations=1)
+    record_experiment(exp)

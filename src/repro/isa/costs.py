@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.opcodes import Op, OpClass
 from repro.isa.operands import Mem
 
 
@@ -73,7 +73,7 @@ class CostModel:
         if op in self.overrides:
             cost = self.overrides[op]
         else:
-            cls = op_info(op).opclass
+            cls = insn.info.opclass
             if cls is OpClass.MOV:
                 cost = self.mov
             elif cls is OpClass.LEA:
@@ -130,7 +130,7 @@ class CostModel:
         # adds a store, a Mem source adds a load.  CMP/TEST/UCOMISD and
         # jumps/pushes only read.
         ops = insn.operands
-        cls = op_info(op).opclass
+        cls = insn.info.opclass
         reads_only = cls in (OpClass.CMP, OpClass.FCMP, OpClass.PUSH, OpClass.JMP, OpClass.CALL)
         for i, operand in enumerate(ops):
             if not isinstance(operand, Mem):

@@ -9,8 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.isa.opcodes import Op, OpClass, TERMINATORS, op_info
-from repro.isa.operands import Operand
+from repro.isa.opcodes import Op, OpClass, OpInfo, TERMINATORS, op_info
+from repro.isa.operands import FReg, Imm, Label, Mem, Operand, Reg
+
+#: One-letter operand-kind tags attached at construction time so hot
+#: consumers (interpreter dispatch, the block compiler) classify
+#: operands without isinstance chains: r=Reg f=FReg i=Imm m=Mem l=Label.
+_KIND_TAGS = {Reg: "r", FReg: "f", Imm: "i", Mem: "m", Label: "l"}
 
 
 @dataclass(frozen=True)
@@ -33,9 +38,23 @@ class Instruction:
     #: code).  Feeds the debug map of Sec. VIII's debugging outlook.
     origin: int | None = field(default=None, compare=False)
 
+    #: Static opcode metadata, resolved once at construction so the
+    #: interpreter and block compiler never hit the registry per step.
+    info: OpInfo = field(init=False, repr=False, compare=False)
+    #: Operand-kind tag string, one char per operand (see _KIND_TAGS).
+    kinds: str = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "info", op_info(self.op))
+        object.__setattr__(
+            self,
+            "kinds",
+            "".join(_KIND_TAGS.get(type(o), "?") for o in self.operands),
+        )
+
     @property
     def opclass(self) -> OpClass:
-        return op_info(self.op).opclass
+        return self.info.opclass
 
     @property
     def is_terminator(self) -> bool:
@@ -43,7 +62,7 @@ class Instruction:
 
     @property
     def writes_flags(self) -> bool:
-        return op_info(self.op).writes_flags
+        return self.info.writes_flags
 
     def with_operands(self, *operands: Operand) -> "Instruction":
         """A copy with different operands (drops addr/size)."""

@@ -1,0 +1,908 @@
+"""Tier-1 execution: basic blocks compiled to single Python closures.
+
+The interpreter (:meth:`repro.machine.cpu.CPU._interp_loop`, "tier 0")
+re-fetches, re-classifies, and re-dispatches every instruction through a
+Python if-chain on every step.  This module adds "tier 1": each basic
+block of guest code is translated *once* into one Python function whose
+body is the whole block with
+
+* operand accessors pre-resolved (``regs[3]`` instead of ``read_int``
+  type-switching, effective addresses folded to expressions),
+* ``op_info``/``OpClass`` lookups hoisted to compile time (the generated
+  code contains no dispatch at all),
+* the per-block cycle cost precomputed as one constant (plus a
+  taken/not-taken delta for conditional-branch blocks),
+* straight-line MOV/ALU/CMP runs fused into one superinstruction body —
+  dead condition-flag updates (overwritten before any SETcc/Jcc and
+  before the block ends) are elided entirely,
+* memory accesses inlined against the segment TLB with the same
+  counters and remote-segment surcharges the interpreter charges.
+
+Compiled blocks live in a **code cache** keyed by start address and are
+chained: once block A has fallen through or jumped to block B, A
+remembers B and the dispatch loop follows the link without a cache
+lookup.  Architectural results (registers, memory, ``perf`` counters,
+return values) are bit-for-bit identical to the interpreter on every
+run that completes without a fault; the EXT-6 harness asserts this.
+
+Invalidation contract
+---------------------
+
+Stale translations must never execute.  The cache is invalidated by
+
+* :meth:`CPU.invalidate_icache` (the rewriter calls it after every
+  emission, tests call it after patching code in place),
+* any :meth:`Image.poke`/:meth:`Image.reserve_rewrite` that touches an
+  executable segment (covers guard stubs, persistence restores that
+  re-place bodies, and in-place patches even when the caller forgets
+  the icache), via :attr:`Image.code_listeners`,
+* :meth:`SpecializationManager` invalidation listeners when attached
+  with :meth:`BlockJIT.watch_manager` (shadow-validation rollbacks and
+  quarantine withdrawals).
+
+Every invalidation bumps a generation counter and clears all chain
+links; the dispatch loop re-checks the generation after any block that
+can run host code, so a host-triggered rewrite takes effect before the
+next guest instruction.
+
+Divergence note: a fault (division by zero, segmentation fault) raised
+*mid-block* surfaces as the same exception the interpreter raises, but
+instruction/cycle counters may differ at that point because the block
+batches them; all success paths are exact.  ``max_steps`` exhaustion is
+exact: the loop hands the final instructions to the interpreter so the
+fault fires on the same step with the same message.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.isa.flags import Cond, Flag
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.operands import FReg, Imm, Mem, Reg
+from repro.isa.registers import GPR
+from repro.isa import semantics as S
+from repro.isa.encoding import decode
+from repro.machine.cpu import CallFrameInfo, CPU, MASK64
+from repro.machine.image import LAYOUT
+
+SIGN_BIT = 1 << 63
+
+#: Longest straight-line run compiled into one block; longer runs split
+#: into chained fall-through blocks.
+MAX_BLOCK_INSNS = 64
+
+_RSP = int(GPR.RSP)
+_RAX = int(GPR.RAX)
+_RDX = int(GPR.RDX)
+
+_SQ = struct.Struct("<Q")
+_SD = struct.Struct("<d")
+_SDD = struct.Struct("<dd")
+
+#: Opclasses that end a basic block.  CALL is included (it is not a
+#: TERMINATOR for the tracer) because host functions run arbitrary
+#: Python — including rewrites that invalidate this very cache.
+_BLOCK_ENDERS = frozenset(
+    (OpClass.JMP, OpClass.JCC, OpClass.CALL, OpClass.RET, OpClass.HLT)
+)
+
+
+def _xorpd(a0: float, a1: float, b0: float, b1: float):
+    """Byte-exact XORPD, matching the interpreter's struct round-trip."""
+    pa = _SDD.pack(a0, a1)
+    pb = _SDD.pack(b0, b1)
+    return _SDD.unpack(bytes(x ^ y for x, y in zip(pa, pb)))
+
+
+class _NoSeg:
+    """TLB sentinel whose bounds check always misses."""
+
+    base = 1
+    end = 0
+
+
+_NOSEG = _NoSeg()
+
+
+class _Unsupported(Exception):
+    """Raised at codegen time for operand shapes the translator does not
+    handle; the block falls back to a single interpreted step."""
+
+
+#: Condition-code expressions over the bound ``flags`` dict.
+_COND_EXPR = {
+    Cond.E: "flags[ZF]",
+    Cond.NE: "not flags[ZF]",
+    Cond.L: "flags[SF] != flags[OF]",
+    Cond.GE: "flags[SF] == flags[OF]",
+    Cond.LE: "flags[ZF] or flags[SF] != flags[OF]",
+    Cond.G: "not flags[ZF] and flags[SF] == flags[OF]",
+    Cond.B: "flags[CF]",
+    Cond.AE: "not flags[CF]",
+    Cond.BE: "flags[CF] or flags[ZF]",
+    Cond.A: "not flags[CF] and not flags[ZF]",
+    Cond.S: "flags[SF]",
+    Cond.NS: "not flags[SF]",
+}
+
+
+class CompiledBlock:
+    """One translated basic block: ``run(cpu)`` executes the whole block
+    and returns (and sets) the next pc."""
+
+    __slots__ = ("addr", "end", "run", "n_insns", "links", "gen", "source")
+
+    def __init__(self, addr, end, run, n_insns, gen, source=""):
+        self.addr = addr
+        self.end = end
+        self.run = run
+        self.n_insns = n_insns
+        self.links: dict[int, "CompiledBlock"] = {}
+        self.gen = gen
+        self.source = source
+
+
+class _BlockCompiler:
+    """Translates one decoded basic block into Python source."""
+
+    def __init__(self, insns: list[Instruction], fall_pc: int, costs):
+        self.insns = insns
+        self.fall_pc = fall_pc  # pc after the last insn (fall-through)
+        self._costs = costs
+        self.lines: list[str] = []
+        self.needs: set[str] = set()
+        self.n_loads = 0
+        self.n_stores = 0
+        self._tmp_n = 0
+
+    # ------------------------------------------------------------ emission
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def tmp(self) -> str:
+        self._tmp_n += 1
+        return f"_t{self._tmp_n}"
+
+    # ------------------------------------------------------------ operands
+    def ea(self, mem: Mem) -> str:
+        """Expression for a memory operand's effective address (canonical
+        unsigned, exactly like :meth:`CPU.ea`)."""
+        parts = []
+        if mem.base is not None:
+            parts.append(f"regs[{int(mem.base)}]")
+        if mem.index is not None:
+            term = f"regs[{int(mem.index)}]"
+            if mem.scale != 1:
+                term += f"*{mem.scale}"
+            parts.append(term)
+        if not parts:
+            return repr(mem.disp & MASK64)
+        if mem.disp:
+            parts.append(repr(mem.disp))
+        if len(parts) == 1 and mem.base is not None:
+            return parts[0]  # a bare register is already canonical
+        return f"(({'+'.join(parts)})&M)"
+
+    def load(self, ea_expr: str, var: str, fmt: str = "Q",
+             count_inline: bool = False) -> str:
+        """Inline an 8-byte load (same counters/surcharges as
+        :meth:`CPU.load_u64`); returns the address temp for reuse."""
+        t = self.tmp()
+        e = self.emit
+        e(f"{t} = {ea_expr}")
+        e(f"if not (seg_.base <= {t} and {t} + 8 <= seg_.end):")
+        e(f"    seg_ = segfor({t}, 8); cpu._seg_cache = seg_")
+        e("_x = seg_.extra_cost")
+        e("if _x:")
+        e("    perf.cycles += _x; perf.remote_cycles += _x; "
+          "perf.remote_accesses += 1")
+        e("mloads[seg_.name] += 1")
+        fn = "UQF" if fmt == "Q" else "UDF"
+        e(f"{var} = {fn}(seg_.data, {t} - seg_.base)[0]")
+        if count_inline:
+            e("perf.loads += 1")
+        else:
+            self.n_loads += 1
+        self.needs.update(("mem", "mloads"))
+        return t
+
+    def store(self, ea_expr: str, value_expr: str, fmt: str = "Q",
+              count_inline: bool = False) -> None:
+        """Inline an 8-byte store (same counters/surcharges as
+        :meth:`CPU.store_u64`); ``value_expr`` must be canonical for Q."""
+        t = self.tmp()
+        e = self.emit
+        e(f"{t} = {ea_expr}")
+        e(f"if not (seg_.base <= {t} and {t} + 8 <= seg_.end):")
+        e(f"    seg_ = segfor({t}, 8); cpu._seg_cache = seg_")
+        e("_x = seg_.extra_cost")
+        e("if _x:")
+        e("    perf.cycles += _x; perf.remote_cycles += _x; "
+          "perf.remote_accesses += 1")
+        e("mstores[seg_.name] += 1")
+        fn = "PQI" if fmt == "Q" else "PDI"
+        e(f"{fn}(seg_.data, {t} - seg_.base, {value_expr})")
+        if count_inline:
+            e("perf.stores += 1")
+        else:
+            self.n_stores += 1
+        self.needs.update(("mem", "mstores"))
+
+    def read_int(self, operand) -> str:
+        """Expression (or temp) holding an integer operand's canonical
+        value; memory operands emit an inline load first."""
+        if type(operand) is Reg:
+            return f"regs[{int(operand.reg)}]"
+        if type(operand) is Imm:
+            return repr(operand.value)
+        if type(operand) is Mem:
+            v = self.tmp()
+            self.load(self.ea(operand), v, "Q")
+            return v
+        raise _Unsupported(f"int operand {operand!r}")
+
+    def write_int(self, operand, value_expr: str) -> None:
+        """Store a canonical value into a register or memory operand."""
+        if type(operand) is Reg:
+            self.emit(f"regs[{int(operand.reg)}] = {value_expr}")
+        elif type(operand) is Mem:
+            self.store(self.ea(operand), value_expr, "Q")
+        else:
+            raise _Unsupported(f"int destination {operand!r}")
+
+    def read_float(self, operand) -> str:
+        """Expression/temp holding a float source operand's value."""
+        if type(operand) is FReg:
+            self.needs.add("xmm")
+            return f"xmm[{int(operand.reg)}][0]"
+        if type(operand) is Mem:
+            v = self.tmp()
+            self.load(self.ea(operand), v, "D")
+            return v
+        raise _Unsupported(f"float operand {operand!r}")
+
+    def read_packed(self, operand) -> tuple[str, str]:
+        """Expressions/temps for both 64-bit lanes of a packed operand."""
+        if type(operand) is FReg:
+            self.needs.add("xmm")
+            n = int(operand.reg)
+            return f"xmm[{n}][0]", f"xmm[{n}][1]"
+        if type(operand) is Mem:
+            lo, hi = self.tmp(), self.tmp()
+            at = self.load(self.ea(operand), lo, "D")
+            self.load(f"{at} + 8", hi, "D")
+            return lo, hi
+        raise _Unsupported(f"packed operand {operand!r}")
+
+    # --------------------------------------------------------------- flags
+    def set_flags(self, zf: str, sf: str, cf: str, of: str) -> None:
+        self.needs.add("flags")
+        self.emit(f"flags[ZF] = {zf}; flags[SF] = {sf}; "
+                  f"flags[CF] = {cf}; flags[OF] = {of}")
+
+    def logic_flags(self, r: str) -> None:
+        self.set_flags(f"{r} == 0", f"{r} >= SB", "False", "False")
+
+    # ---------------------------------------------------------- translate
+    def gen(self) -> str:
+        """Translate the whole block; returns the function source."""
+        insns = self.insns
+        need_flags = self._flag_liveness(insns)
+        for i, insn in enumerate(insns[:-1] if self._has_ender() else insns):
+            self.gen_insn(insn, need_flags[i])
+        if self._has_ender():
+            self.gen_ender(insns[-1], need_flags[len(insns) - 1])
+        else:
+            self.epilogue(self._base_cost(insns), repr(self.fall_pc))
+        return self.render()
+
+    def _has_ender(self) -> bool:
+        return self.insns[-1].info.opclass in _BLOCK_ENDERS
+
+    def _flag_liveness(self, insns) -> list[bool]:
+        """need[i]: must insn i's flag results land in the flags dict?
+        Live at block end (the next block may read them); dead once a
+        later insn overwrites all four before any reader."""
+        need = [False] * len(insns)
+        live = True
+        for i in range(len(insns) - 1, -1, -1):
+            info = insns[i].info
+            cls = info.opclass
+            # DIV advertises writes_flags but the machine leaves flags
+            # untouched, so it must not count as an overwrite here
+            if info.writes_flags and cls is not OpClass.DIV:
+                need[i] = live
+                live = False
+            if cls is OpClass.SETCC or cls is OpClass.JCC:
+                live = True
+        return need
+
+    def _base_cost(self, insns, costs=None) -> int:
+        costs = costs or self._costs
+        return sum(costs.base_cost(i, False) for i in insns)
+
+    def epilogue(self, cycles: int, target_expr: str, indent: str = "") -> None:
+        """Charge the block's batched counters and jump to ``target_expr``."""
+        e = self.emit
+        e(f"{indent}perf.instructions += {len(self.insns)}")
+        if self.n_loads:
+            e(f"{indent}perf.loads += {self.n_loads}")
+        if self.n_stores:
+            e(f"{indent}perf.stores += {self.n_stores}")
+        e(f"{indent}perf.cycles += {cycles}")
+        e(f"{indent}cpu.pc = {target_expr}")
+        e(f"{indent}return {target_expr}")
+
+    # ------------------------------------------------------ per-insn body
+    def gen_insn(self, insn: Instruction, flags_needed: bool) -> None:
+        """Translate one straight-line (non-terminator) instruction."""
+        op = insn.op
+        cls = insn.info.opclass
+        ops = insn.operands
+        e = self.emit
+
+        if cls is OpClass.MOV:
+            self.write_int(ops[0], self.read_int(ops[1]))
+        elif cls is OpClass.ALU or cls is OpClass.SHIFT or cls is OpClass.MUL:
+            if len(ops) == 1:
+                self._gen_unop(op, ops[0], flags_needed)
+            else:
+                self._gen_binop(op, ops[0], ops[1], flags_needed,
+                                write_result=True)
+        elif cls is OpClass.CMP:
+            if not flags_needed and not any(type(o) is Mem for o in ops):
+                pass  # flag-only op whose flags die: nothing observable
+            else:
+                self._gen_binop(op, ops[0], ops[1], flags_needed,
+                                write_result=False)
+        elif cls is OpClass.LEA:
+            if type(ops[1]) is not Mem:
+                raise _Unsupported("LEA without memory source")
+            e(f"regs[{int(ops[0].reg)}] = {self.ea(ops[1])}")
+        elif cls is OpClass.FMOV:
+            if op is Op.XORPD:
+                a0, a1 = self.read_packed(ops[0])
+                b0, b1 = self.read_packed(ops[1])
+                d = int(ops[0].reg)
+                e(f"xmm[{d}][0], xmm[{d}][1] = XPD({a0}, {a1}, {b0}, {b1})")
+            else:  # MOVSD
+                if type(ops[0]) is FReg:
+                    self.needs.add("xmm")
+                    e(f"xmm[{int(ops[0].reg)}][0] = {self.read_float(ops[1])}")
+                else:
+                    self.store(self.ea(ops[0]), self.read_float(ops[1]), "D")
+        elif cls is OpClass.FALU:
+            d = int(ops[0].reg)
+            self.needs.add("xmm")
+            sym = {Op.ADDSD: "+", Op.SUBSD: "-", Op.MULSD: "*"}[op]
+            e(f"xmm[{d}][0] = xmm[{d}][0] {sym} {self.read_float(ops[1])}")
+        elif cls is OpClass.FDIV:
+            d = int(ops[0].reg)
+            self.needs.add("xmm")
+            if op is Op.SQRTSD:
+                b = self.read_float(ops[1])
+                e(f"_fb = {b}")
+                e(f"xmm[{d}][0] = NAN if _fb < 0 else sqrt(_fb)")
+            else:  # DIVSD
+                e(f"_fb = {self.read_float(ops[1])}")
+                e(f"_fa = xmm[{d}][0]")
+                e("if _fb == 0.0:")
+                e(f"    xmm[{d}][0] = "
+                  "INF if _fa > 0 else (-INF if _fa < 0 else NAN)")
+                e("else:")
+                e(f"    xmm[{d}][0] = _fa / _fb")
+        elif cls is OpClass.FCMP:
+            e(f"_fa = {self.read_float(ops[0])}")
+            e(f"_fb = {self.read_float(ops[1])}")
+            if flags_needed:
+                self.needs.add("flags")
+                e("if _fa != _fa or _fb != _fb:")
+                e("    flags[ZF] = True; flags[SF] = False; "
+                  "flags[CF] = True; flags[OF] = False")
+                e("else:")
+                e("    flags[ZF] = _fa == _fb; flags[SF] = False; "
+                  "flags[CF] = _fa < _fb; flags[OF] = False")
+        elif cls is OpClass.FCVT:
+            if op is Op.CVTSI2SD:
+                self.needs.add("xmm")
+                e(f"xmm[{int(ops[0].reg)}][0] = "
+                  f"float(ts({self.read_int(ops[1])}))")
+            else:  # CVTTSD2SI
+                e(f"_fa = {self.read_float(ops[1])}")
+                e("if _fa != _fa or _fa >= 9223372036854775808.0 "
+                  "or _fa < -9223372036854775808.0:")
+                e("    _r = SB")
+                e("else:")
+                e("    _r = int(_fa) & M")
+                self.write_int(ops[0], "_r")
+        elif cls is OpClass.BITMOV:
+            if type(ops[0]) is Reg:
+                e(f"regs[{int(ops[0].reg)}] = "
+                  f"UQ(PD({self.read_float(ops[1])}))[0]")
+            else:
+                self.needs.add("xmm")
+                e(f"xmm[{int(ops[0].reg)}][0] = "
+                  f"UD(PQ({self.read_int(ops[1])}))[0]")
+        elif cls is OpClass.VMOV:
+            lo, hi = self.read_packed(ops[1])
+            if type(ops[0]) is FReg:
+                self.needs.add("xmm")
+                d = int(ops[0].reg)
+                e(f"xmm[{d}][0] = {lo}; xmm[{d}][1] = {hi}")
+            else:
+                at = self.tmp()
+                e(f"{at} = {self.ea(ops[0])}")
+                self.store(at, lo, "D")
+                self.store(f"{at} + 8", hi, "D")
+        elif cls is OpClass.VALU:
+            a0, a1 = self.read_packed(ops[0])
+            b0, b1 = self.read_packed(ops[1])
+            d = int(ops[0].reg)
+            if op is Op.HADDPD:
+                e(f"xmm[{d}][0], xmm[{d}][1] = {a0} + {a1}, {b0} + {b1}")
+            else:
+                sym = {Op.ADDPD: "+", Op.SUBPD: "-", Op.MULPD: "*"}[op]
+                e(f"xmm[{d}][0], xmm[{d}][1] = "
+                  f"{a0} {sym} {b0}, {a1} {sym} {b1}")
+        elif cls is OpClass.SETCC:
+            self.needs.add("flags")
+            cond = _COND_EXPR[insn.info.cond]
+            self.write_int(ops[0], f"(1 if {cond} else 0)")
+        elif cls is OpClass.PUSH:
+            v = self.read_int(ops[0])
+            e(f"_v = {v}")
+            e(f"_sp = (regs[{_RSP}] - 8) & M")
+            e(f"regs[{_RSP}] = _sp")
+            self.store("_sp", "_v", "Q")
+        elif cls is OpClass.POP:
+            v = self.tmp()
+            self.load(f"regs[{_RSP}]", v, "Q")
+            e(f"regs[{_RSP}] = (regs[{_RSP}] + 8) & M")
+            self.write_int(ops[0], v)
+        elif cls is OpClass.DIV:
+            b = self.read_int(ops[0])
+            e(f"regs[{_RAX}], regs[{_RDX}] = IDIV(regs[{_RAX}], {b})")
+        elif cls is OpClass.NOP:
+            pass
+        else:  # pragma: no cover - enders are handled by gen_ender
+            raise _Unsupported(f"opclass {cls} in block body")
+
+    def _gen_unop(self, op: Op, operand, flags_needed: bool) -> None:
+        e = self.emit
+        # read-modify-write through one EA for memory destinations
+        if type(operand) is Mem:
+            at = self.load(self.ea(operand), "_a", "Q")
+            src = "_a"
+        else:
+            src = self.read_int(operand)
+        if op is Op.NOT:
+            result = f"({src} ^ M)"
+            if type(operand) is Mem:
+                self.store(at, result, "Q")
+            else:
+                self.write_int(operand, result)
+            return
+        if src != "_a":
+            e(f"_a = {src}")
+        if op is Op.NEG:
+            e("_r = (-_a) & M")
+            if flags_needed:
+                self.set_flags("_r == 0", "_r >= SB", "0 < _a",
+                               "(-ts(_a)) != ts(_r)")
+        elif op is Op.INC:
+            e("_r = (_a + 1) & M")
+            if flags_needed:
+                self.set_flags("_r == 0", "_r >= SB", "_a + 1 > M",
+                               "ts(_a) + 1 != ts(_r)")
+        elif op is Op.DEC:
+            e("_r = (_a - 1) & M")
+            if flags_needed:
+                self.set_flags("_r == 0", "_r >= SB", "_a < 1",
+                               "ts(_a) - 1 != ts(_r)")
+        else:
+            raise _Unsupported(f"unary {op}")
+        if type(operand) is Mem:
+            self.store(at, "_r", "Q")
+        else:
+            self.write_int(operand, "_r")
+
+    def _gen_binop(self, op: Op, dst, src, flags_needed: bool,
+                   write_result: bool) -> None:
+        e = self.emit
+        at = None
+        if write_result and type(dst) is Mem:
+            # read-modify-write: one EA, load now, store after
+            at = self.load(self.ea(dst), "_a", "Q")
+            a = "_a"
+        else:
+            a = self.read_int(dst)
+        b = self.read_int(src)
+        simple = not flags_needed and write_result and type(dst) is Reg
+        if op is Op.ADD:
+            if simple:
+                self.write_int(dst, f"({a} + {b}) & M")
+                return
+            e(f"_a = {a}; _b = {b}" if a != "_a" else f"_b = {b}")
+            e("_r = (_a + _b) & M")
+            if flags_needed:
+                self.set_flags("_r == 0", "_r >= SB", "_a + _b > M",
+                               "ts(_a) + ts(_b) != ts(_r)")
+        elif op is Op.SUB or op is Op.CMP:
+            if simple:
+                self.write_int(dst, f"({a} - {b}) & M")
+                return
+            e(f"_a = {a}; _b = {b}" if a != "_a" else f"_b = {b}")
+            e("_r = (_a - _b) & M")
+            if flags_needed:
+                self.set_flags("_r == 0", "_r >= SB", "_a < _b",
+                               "ts(_a) - ts(_b) != ts(_r)")
+        elif op in (Op.AND, Op.TEST):
+            if simple:
+                self.write_int(dst, f"{a} & {b}")
+                return
+            e(f"_r = {a} & {b}")
+            if flags_needed:
+                self.logic_flags("_r")
+        elif op is Op.OR:
+            if simple:
+                self.write_int(dst, f"{a} | {b}")
+                return
+            e(f"_r = {a} | {b}")
+            if flags_needed:
+                self.logic_flags("_r")
+        elif op is Op.XOR:
+            if simple:
+                self.write_int(dst, f"{a} ^ {b}")
+                return
+            e(f"_r = {a} ^ {b}")
+            if flags_needed:
+                self.logic_flags("_r")
+        elif op is Op.IMUL:
+            e(f"_f = ts({a}) * ts({b})")
+            e("_r = _f & M")
+            if flags_needed:
+                e("_o = _f != ts(_r)")
+                self.set_flags("_r == 0", "_r >= SB", "_o", "_o")
+        elif op is Op.SHL:
+            if simple:
+                self.write_int(dst, f"({a} << ({b} & 63)) & M")
+                return
+            e(f"_r = ({a} << ({b} & 63)) & M")
+            if flags_needed:
+                self.logic_flags("_r")
+        elif op is Op.SHR:
+            if simple:
+                self.write_int(dst, f"{a} >> ({b} & 63)")
+                return
+            e(f"_r = {a} >> ({b} & 63)")
+            if flags_needed:
+                self.logic_flags("_r")
+        elif op is Op.SAR:
+            if simple:
+                self.write_int(dst, f"(ts({a}) >> ({b} & 63)) & M")
+                return
+            e(f"_r = (ts({a}) >> ({b} & 63)) & M")
+            if flags_needed:
+                self.logic_flags("_r")
+        else:
+            raise _Unsupported(f"binop {op}")
+        if write_result:
+            if at is not None:
+                self.store(at, "_r", "Q")
+            else:
+                self.write_int(dst, "_r")
+
+    # ------------------------------------------------------- block enders
+    def gen_ender(self, insn: Instruction, flags_needed: bool) -> None:
+        """Translate the block's terminator (jump/call/ret/halt)."""
+        op = insn.op
+        cls = insn.info.opclass
+        ops = insn.operands
+        e = self.emit
+        costs = self._costs
+        body = self._base_cost(self.insns[:-1])
+
+        if cls is OpClass.JMP:
+            e("perf.branches += 1")
+            e("perf.taken_branches += 1")
+            if op is Op.JMPI:
+                e(f"_t = regs[{int(ops[0].reg)}]")
+                self.epilogue(body + costs.base_cost(insn, False), "_t")
+            else:
+                self.epilogue(body + costs.base_cost(insn, False),
+                              repr(ops[0].value))
+        elif cls is OpClass.JCC:
+            self.needs.add("flags")
+            cond = _COND_EXPR[insn.info.cond]
+            e("perf.branches += 1")
+            e(f"if {cond}:")
+            e("    perf.taken_branches += 1")
+            self.epilogue(body + costs.base_cost(insn, True),
+                          repr(ops[0].value), indent="    ")
+            self.epilogue(body + costs.base_cost(insn, False),
+                          repr(self.fall_pc))
+        elif cls is OpClass.CALL:
+            self.needs.add("call")
+            if op is Op.CALLI:
+                e(f"_t = regs[{int(ops[0].reg)}]")
+                target = "_t"
+            else:
+                target = repr(ops[0].value)
+            # charge the body *before* any host code runs so a host
+            # function observing perf mid-call sees interpreter-exact
+            # counters; the call's own cost lands after, like the
+            # interpreter's post-execute charge
+            e(f"perf.instructions += {len(self.insns)}")
+            if self.n_loads:
+                e(f"perf.loads += {self.n_loads}")
+            if self.n_stores:
+                e(f"perf.stores += {self.n_stores}")
+            e(f"perf.cycles += {body}")
+            e("perf.calls += 1")
+            e("if hooks:")
+            e(f"    for _h in hooks: _h(cpu, {target})")
+            e(f"_host = hostfns.get({target})")
+            call_cost = costs.base_cost(insn, False)
+            e("if _host is not None:")
+            e("    _host(cpu)")
+            e(f"    perf.cycles += {call_cost}")
+            e(f"    cpu.pc = {repr(self.fall_pc)}")
+            e(f"    return {repr(self.fall_pc)}")
+            e(f"_sp = (regs[{_RSP}] - 8) & M")
+            e(f"regs[{_RSP}] = _sp")
+            self.store("_sp", repr(self.fall_pc), "Q", count_inline=True)
+            e(f"perf.cycles += {call_cost}")
+            e(f"stack.append(CFI({target}, {repr(self.fall_pc)}))")
+            e(f"cpu.pc = {target}")
+            e(f"return {target}")
+        elif cls is OpClass.RET:
+            self.needs.add("call")
+            t = self.tmp()
+            self.load(f"regs[{_RSP}]", t, "Q")
+            e(f"regs[{_RSP}] = (regs[{_RSP}] + 8) & M")
+            e("perf.rets += 1")
+            e("if stack:")
+            e("    stack.pop()")
+            self.epilogue(body + costs.base_cost(insn, False), t)
+        elif cls is OpClass.HLT:
+            self.epilogue(body + costs.base_cost(insn, False), "HALT")
+        else:  # pragma: no cover
+            raise _Unsupported(f"ender {cls}")
+
+    # -------------------------------------------------------------- render
+    def render(self) -> str:
+        """Assemble the preamble (only the locals the body needs) + body."""
+        pre = ["def _block(cpu):", "    regs = cpu.regs", "    perf = cpu.perf"]
+        if "flags" in self.needs:
+            pre.append("    flags = cpu.flags")
+        if "xmm" in self.needs:
+            pre.append("    xmm = cpu.xmm")
+        if "mem" in self.needs:
+            pre.append("    seg_ = cpu._seg_cache or NOSEG")
+            pre.append("    segfor = cpu.memory.segment_for")
+        if "mloads" in self.needs:
+            pre.append("    mloads = cpu.memory.loads")
+        if "mstores" in self.needs:
+            pre.append("    mstores = cpu.memory.stores")
+        if "call" in self.needs:
+            pre.append("    hooks = cpu.call_hooks")
+            pre.append("    hostfns = cpu.host_functions")
+            pre.append("    stack = cpu.call_stack")
+        return "\n".join(pre + self.lines) + "\n"
+
+
+class BlockJIT:
+    """The tier-1 engine: block code cache + dispatch loop + invalidation.
+
+    Constructing one attaches it to ``cpu`` (``cpu.jit = self``) and
+    registers an executable-segment write listener on the image, so the
+    cache can never serve a block whose bytes were re-poked.
+    """
+
+    def __init__(self, cpu: CPU, metrics=None) -> None:
+        self.cpu = cpu
+        self.metrics = metrics
+        self.cache: dict[int, CompiledBlock] = {}
+        #: Generation counter; bumped by every invalidation.  The loop
+        #: re-checks it after each block so host-triggered rewrites
+        #: (CALL blocks) take effect before the next guest instruction.
+        self.gen = 0
+        self.compiles = 0
+        self.hits = 0
+        self.invalidations = 0
+        self.chain_follows = 0
+        self.interp_fallbacks = 0
+        self._globals = {
+            "M": MASK64, "SB": SIGN_BIT, "ts": S.to_signed,
+            "sqrt": math.sqrt, "NAN": math.nan, "INF": math.inf,
+            "ZF": Flag.ZF, "SF": Flag.SF, "CF": Flag.CF, "OF": Flag.OF,
+            "UQF": _SQ.unpack_from, "PQI": _SQ.pack_into,
+            "UDF": _SD.unpack_from, "PDI": _SD.pack_into,
+            "PD": _SD.pack, "UQ": _SQ.unpack,
+            "PQ": _SQ.pack, "UD": _SD.unpack,
+            "XPD": _xorpd, "IDIV": S.idiv, "CFI": CallFrameInfo,
+            "HALT": LAYOUT.halt_addr, "NOSEG": _NOSEG,
+        }
+        cpu.jit = self
+        cpu.image.code_listeners.append(self._on_code_write)
+
+    # -------------------------------------------------------- invalidation
+    def invalidate(self) -> None:
+        """Drop every compiled block (full icache-style flush)."""
+        self.cache.clear()
+        self.gen += 1
+        self.invalidations += 1
+        if self.metrics is not None:
+            self.metrics.inc("jit.invalidations")
+
+    def invalidate_range(self, start: int, end: int) -> None:
+        """Drop blocks overlapping ``[start, end)`` and sever all chain
+        links (a surviving block may link to a dropped one)."""
+        dropped = [a for a, blk in self.cache.items()
+                   if a < end and blk.end > start]
+        for a in dropped:
+            del self.cache[a]
+        for blk in self.cache.values():
+            if blk.links:
+                blk.links.clear()
+        self.gen += 1
+        self.invalidations += 1
+        if self.metrics is not None:
+            self.metrics.inc("jit.invalidations")
+
+    def _on_code_write(self, addr: int, length: int) -> None:
+        self.invalidate_range(addr, addr + max(length, 1))
+
+    def watch_manager(self, manager) -> None:
+        """Invalidate on every manager withdrawal/invalidation event
+        (shadow-validation rollback, quarantine, epoch bumps)."""
+        manager.add_invalidation_listener(lambda dropped: self.invalidate())
+
+    def stats(self) -> dict:
+        return {
+            "compiles": self.compiles,
+            "hits": self.hits,
+            "invalidations": self.invalidations,
+            "chain_follows": self.chain_follows,
+            "interp_fallbacks": self.interp_fallbacks,
+            "cached_blocks": len(self.cache),
+        }
+
+    # -------------------------------------------------------------- compile
+    def _decode_block(self, addr: int) -> tuple[list[Instruction], int]:
+        """Decode the straight-line run starting at ``addr``; returns
+        ``(insns, end_addr)``.  A decode fault *mid*-block truncates it
+        (the preceding instructions must still execute before the guest
+        observes the fault at the bad pc)."""
+        memory = self.cpu.memory
+        insns: list[Instruction] = []
+        pc = addr
+        while True:
+            try:
+                seg = memory.segment_for(pc, 2)
+                insn = decode(seg.data, pc, pc - seg.base)
+            except Exception:
+                if insns:
+                    break
+                raise
+            insns.append(insn)
+            pc += insn.size
+            if insn.info.opclass in _BLOCK_ENDERS:
+                break
+            if len(insns) >= MAX_BLOCK_INSNS:
+                break
+        return insns, pc
+
+    def _compile(self, addr: int) -> CompiledBlock:
+        insns, end = self._decode_block(addr)
+        try:
+            compiler = _BlockCompiler(insns, end, self.cpu.costs)
+            source = compiler.gen()
+            ns = dict(self._globals)
+            exec(compile(source, f"<jit:0x{addr:x}>", "exec"), ns)
+            blk = CompiledBlock(addr, end, ns["_block"], len(insns),
+                                self.gen, source)
+        except _Unsupported:
+            blk = self._fallback_block(addr)
+        self.cache[addr] = blk
+        self.compiles += 1
+        if self.metrics is not None:
+            self.metrics.inc("jit.compiles")
+        return blk
+
+    def _fallback_block(self, addr: int) -> CompiledBlock:
+        """A single interpreted step wrapped as a block — the safety net
+        for operand shapes the translator does not handle."""
+        cpu = self.cpu
+        entry = cpu._icache.get(addr)
+        if entry is None:
+            entry = cpu._fill_icache(addr)
+        insn, c_nt, c_t = entry
+
+        def run(c, _i=insn, _nt=c_nt, _t=c_t):
+            p = c.perf
+            p.instructions += 1
+            taken = c._execute(_i)
+            p.cycles += _t if taken else _nt
+            return c.pc
+
+        self.interp_fallbacks += 1
+        if self.metrics is not None:
+            self.metrics.inc("jit.interp_fallbacks")
+        return CompiledBlock(addr, addr + (insn.size or 1), run, 1, self.gen,
+                             "# interpreter fallback\n")
+
+    # ----------------------------------------------------------------- loop
+    def loop(self, max_steps: int) -> int:
+        """Run until halt (same contract as :meth:`CPU._interp_loop`)."""
+        cpu = self.cpu
+        cache = self.cache
+        halt = LAYOUT.halt_addr
+        steps = 0
+        hits = follows = 0
+        try:
+            gen = self.gen
+            pc = cpu.pc
+            while True:
+                if pc == halt:
+                    return steps
+                if steps >= max_steps:
+                    # raises the exhaustion fault exactly like tier 0
+                    return cpu._interp_loop(max_steps, steps)
+                blk = cache.get(pc)
+                if blk is None:
+                    blk = self._compile(pc)
+                else:
+                    hits += 1
+                while True:
+                    if steps + blk.n_insns > max_steps:
+                        # hand the tail to the interpreter so max_steps
+                        # exhaustion faults on exactly the same step
+                        return cpu._interp_loop(max_steps, steps)
+                    pc = blk.run(cpu)
+                    steps += blk.n_insns
+                    if pc == halt:
+                        return steps
+                    if self.gen != gen:
+                        # invalidated under our feet (a host call
+                        # rewrote code): drop the stale reference and
+                        # refetch from the cache
+                        gen = self.gen
+                        break
+                    nxt = blk.links.get(pc)
+                    if nxt is None:
+                        if steps >= max_steps:
+                            return cpu._interp_loop(max_steps, steps)
+                        nxt = cache.get(pc)
+                        if nxt is None:
+                            nxt = self._compile(pc)
+                        else:
+                            hits += 1
+                        blk.links[pc] = nxt
+                    else:
+                        follows += 1
+                    blk = nxt
+        finally:
+            self.hits += hits
+            self.chain_follows += follows
+            if self.metrics is not None:
+                if hits:
+                    self.metrics.inc("jit.hits", hits)
+                if follows:
+                    self.metrics.inc("jit.chain_follows", follows)
+
+
+def enable_blockjit(machine, manager=None, metrics=None) -> BlockJIT:
+    """Attach a :class:`BlockJIT` to ``machine`` (idempotent) and wire it
+    to ``manager`` invalidations when given."""
+    jit = machine.cpu.jit
+    if jit is None:
+        jit = BlockJIT(machine.cpu, metrics=metrics)
+    elif metrics is not None and jit.metrics is None:
+        jit.metrics = metrics
+    if manager is not None:
+        jit.watch_manager(manager)
+    return jit

@@ -26,7 +26,7 @@ from repro.isa.costs import DEFAULT_COSTS, CostModel
 from repro.isa.encoding import decode
 from repro.isa.flags import Flag, cond_holds
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Op, OpClass, op_info
+from repro.isa.opcodes import Op, OpClass
 from repro.isa.operands import FReg, Imm, Mem, Reg
 from repro.isa.registers import GPR
 from repro.isa import semantics as S
@@ -77,11 +77,14 @@ class CPU:
         self.host_functions: dict[int, Callable[["CPU"], None]] = {}
         self.call_hooks: list[Callable[["CPU", int], None]] = []
         self.call_stack: list[CallFrameInfo] = []
-        self._icache: dict[int, Instruction] = {}
+        # decoded instruction plus its (not-taken, taken) cycle cost,
+        # all filled at decode time — one dict hit per interpreted step,
+        # and no cache keyed on object identity to go stale
+        self._icache: dict[int, tuple[Instruction, int, int]] = {}
         self._seg_cache = None  # last segment hit (cheap TLB)
-        # per-decoded-instruction cycle cost (not-taken, taken); keyed by
-        # object id, valid as long as the icache pins the objects
-        self._cost_cache: dict[int, tuple[int, int]] = {}
+        #: Tier-1 block engine (:class:`repro.machine.blockjit.BlockJIT`)
+        #: when attached; None runs the plain interpreter loop.
+        self.jit = None
 
     # ------------------------------------------------------------------ mem
     def _segment(self, addr: int, length: int = 8):
@@ -134,12 +137,22 @@ class CPU:
     # --------------------------------------------------------------- fetch
     def fetch(self, addr: int) -> Instruction:
         """Decode (and cache) the instruction at ``addr``."""
-        insn = self._icache.get(addr)
-        if insn is None:
-            seg = self._segment(addr, 2)
-            insn = decode(seg.data, addr, addr - seg.base)
-            self._icache[addr] = insn
-        return insn
+        entry = self._icache.get(addr)
+        if entry is None:
+            entry = self._fill_icache(addr)
+        return entry[0]
+
+    def _fill_icache(self, addr: int) -> tuple[Instruction, int, int]:
+        """Decode at ``addr`` and cache it with both cycle costs."""
+        seg = self._segment(addr, 2)
+        insn = decode(seg.data, addr, addr - seg.base)
+        entry = (
+            insn,
+            self.costs.base_cost(insn, False),
+            self.costs.base_cost(insn, True),
+        )
+        self._icache[addr] = entry
+        return entry
 
     def invalidate_icache(self) -> None:
         """Must be called after new code is emitted over executed addresses.
@@ -148,7 +161,8 @@ class CPU:
         this is only needed by tests that patch code in place.)
         """
         self._icache.clear()
-        self._cost_cache.clear()
+        if self.jit is not None:
+            self.jit.invalidate()
 
     # ------------------------------------------------------------ operands
     def ea(self, mem: Mem) -> int:
@@ -247,23 +261,27 @@ class CPU:
 
     # ---------------------------------------------------------------- loop
     def _loop(self, max_steps: int) -> int:
+        if self.jit is not None:
+            return self.jit.loop(max_steps)
+        return self._interp_loop(max_steps)
+
+    def _interp_loop(self, max_steps: int, steps: int = 0) -> int:
+        """The tier-0 interpreter loop, starting at ``steps`` already
+        executed (the block engine falls back here near the step limit
+        so the exhaustion fault fires at exactly the same point)."""
         perf = self.perf
-        costs = self.costs
-        cost_cache = self._cost_cache
+        icache = self._icache
         halt = LAYOUT.halt_addr
-        steps = 0
         while True:
             if steps >= max_steps:
                 raise CpuError(f"exceeded max_steps={max_steps} at pc=0x{self.pc:x}")
-            insn = self.fetch(self.pc)
+            entry = icache.get(self.pc)
+            if entry is None:
+                entry = self._fill_icache(self.pc)
             steps += 1
             perf.instructions += 1
-            taken = self._execute(insn)
-            entry = cost_cache.get(id(insn))
-            if entry is None:
-                entry = (costs.base_cost(insn, False), costs.base_cost(insn, True))
-                cost_cache[id(insn)] = entry
-            perf.cycles += entry[1] if taken else entry[0]
+            taken = self._execute(entry[0])
+            perf.cycles += entry[2] if taken else entry[1]
             if self.pc == halt:
                 return steps
 
@@ -274,7 +292,7 @@ class CPU:
         Updates ``self.pc``.
         """
         op = insn.op
-        cls = op_info(op).opclass
+        cls = insn.info.opclass
         ops = insn.operands
         next_pc = self.pc + (insn.size or 0)
 
@@ -361,7 +379,7 @@ class CPU:
             self.xmm[ops[0].reg][0] = result[0]  # type: ignore[union-attr]
             self.xmm[ops[0].reg][1] = result[1]  # type: ignore[union-attr]
         elif cls is OpClass.SETCC:
-            cond = op_info(op).cond
+            cond = insn.info.cond
             assert cond is not None
             self.write_int(ops[0], 1 if cond_holds(cond, self.flags) else 0)
         elif cls is OpClass.PUSH:
@@ -379,7 +397,7 @@ class CPU:
             self.pc = target
             return None
         elif cls is OpClass.JCC:
-            cond = op_info(op).cond
+            cond = insn.info.cond
             assert cond is not None
             taken = cond_holds(cond, self.flags)
             self.perf.branches += 1

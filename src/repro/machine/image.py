@@ -80,6 +80,12 @@ class Image:
         self.symbol_names: dict[int, str] = {}
         #: Sizes of named functions (addr -> code length), for disassembly.
         self.function_sizes: dict[int, int] = {}
+        #: Callbacks ``(addr, length)`` fired whenever bytes land in an
+        #: executable segment (``poke``) or a rewrite range is pinned
+        #: (``reserve_rewrite``) — the block JIT's code cache hangs off
+        #: this so in-place patches and persistence restores can never
+        #: execute stale translations.
+        self.code_listeners: list = []
 
     # -- symbols -----------------------------------------------------------
     def define_symbol(self, name: str, addr: int) -> None:
@@ -104,6 +110,9 @@ class Image:
         seg = self.memory.segment_for(addr, len(data))
         off = addr - seg.base
         seg.data[off : off + len(data)] = data
+        if self.code_listeners and seg.executable:
+            for listener in self.code_listeners:
+                listener(addr, len(data))
 
     def peek(self, addr: int, length: int) -> bytes:
         """Loader-level raw read (bypasses permissions and counters)."""
@@ -169,6 +178,8 @@ class Image:
         if not self.seg_rewrite.base <= addr <= addr + size <= self.seg_rewrite.end:
             raise MemoryError_(f"address 0x{addr:x} outside the rewrite segment")
         self._rewrite_next = max(self._rewrite_next, addr + size)
+        for listener in self.code_listeners:
+            listener(addr, size)
 
     def emit_rewritten(self, name: str | None, code: bytes) -> int:
         """Place rewriter output into the rewrite segment."""

@@ -43,6 +43,8 @@ class Segment:
             self.data = bytearray(self.size)
         elif len(self.data) != self.size:
             raise ValueError("backing buffer size mismatch")
+        # precomputed so hot paths skip the enum-flag membership test
+        self.executable = Perm.X in self.perms
 
     @property
     def end(self) -> int:

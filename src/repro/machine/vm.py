@@ -23,13 +23,27 @@ from repro.machine.memory import Memory
 class Machine:
     """A complete simulated host: memory image and one CPU."""
 
-    def __init__(self, costs: CostModel | None = None) -> None:
+    def __init__(self, costs: CostModel | None = None, jit: bool = False) -> None:
         self.image = Image(Memory())
         self.cpu = CPU(self.image, costs)
+        if jit:
+            self.enable_jit()
 
     @property
     def memory(self) -> Memory:
         return self.image.memory
+
+    @property
+    def jit(self):
+        """The attached tier-1 block engine, or ``None``."""
+        return self.cpu.jit
+
+    def enable_jit(self, manager=None, metrics=None):
+        """Attach the tier-1 block-compiling engine (idempotent).  See
+        :mod:`repro.machine.blockjit` for the invalidation contract."""
+        from repro.machine.blockjit import enable_blockjit
+
+        return enable_blockjit(self, manager=manager, metrics=metrics)
 
     def load(self, source: str, opt: int = 2, unit: str = "<unit>"):
         """Compile minic ``source`` at optimization level ``opt`` and link

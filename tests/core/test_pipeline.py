@@ -1,0 +1,180 @@
+"""Pass-pipeline tests: chain merging edge cases, worklist equivalence
+with the old restart-from-scratch formulation, and the pass registry."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.blocks import BlockRegistry, CapturedBlock
+from repro.core.config import RewriteConfig
+from repro.core.known import World
+from repro.core.passes.pipeline import (
+    AVAILABLE_PASSES, _load_pass, merge_linear_chains,
+)
+from repro.errors import RewriteFailure
+from repro.isa.instruction import ins
+from repro.isa.opcodes import Op
+from repro.isa.operands import Imm, Reg
+from repro.isa.registers import GPR
+
+
+def _block(label, marker, final_target=None, extra_succs=()):
+    """A captured block with one identifying instruction."""
+    succs = list(extra_succs)
+    if final_target is not None:
+        succs.append(final_target)
+    return CapturedBlock(
+        label, 0x1000, World(),
+        insns=[ins(Op.MOV, Reg(GPR.RAX), Imm(marker))],
+        final_target=final_target, successors=succs,
+    )
+
+
+def _registry(*blocks) -> BlockRegistry:
+    reg = BlockRegistry()
+    for blk in blocks:
+        reg.blocks[blk.label] = blk
+    return reg
+
+
+def _shape(reg: BlockRegistry) -> dict:
+    return {
+        label: (
+            [i.operands[1].value for i in blk.insns],
+            blk.final_target,
+            sorted(blk.successors),
+        )
+        for label, blk in reg.blocks.items()
+    }
+
+
+# ----------------------------------------------------------- chain merging
+def test_linear_chain_merges_into_one_block():
+    reg = _registry(
+        _block("@a", 1, final_target="@b"),
+        _block("@b", 2, final_target="@c"),
+        _block("@c", 3),
+    )
+    merge_linear_chains(reg, "@a")
+    assert set(reg.blocks) == {"@a"}
+    assert [i.operands[1].value for i in reg.blocks["@a"].insns] == [1, 2, 3]
+    assert reg.blocks["@a"].final_target is None
+
+
+def test_self_loop_fall_through_never_merges():
+    """A block falling through to itself must not be absorbed (and the
+    worklist must not spin on it)."""
+    reg = _registry(_block("@a", 1, final_target="@a"))
+    merge_linear_chains(reg, "@a")
+    assert set(reg.blocks) == {"@a"}
+    assert reg.blocks["@a"].final_target == "@a"
+    # same with a non-entry self loop reached from the entry
+    reg = _registry(
+        _block("@e", 1, final_target="@a"),
+        _block("@a", 2, final_target="@a"),
+    )
+    merge_linear_chains(reg, "@e")
+    # @a's predecessors are @e and itself: 2 preds, no merge
+    assert set(reg.blocks) == {"@e", "@a"}
+
+
+def test_entry_label_target_never_merges():
+    """The entry block is the variant's external entry point: a block
+    falling through to it must keep the edge."""
+    reg = _registry(
+        _block("@entry", 1, final_target="@tail"),
+        _block("@tail", 2, final_target="@entry"),
+    )
+    merge_linear_chains(reg, "@entry")
+    assert set(reg.blocks) == {"@entry"}
+    # @tail merged INTO the entry, but the back edge to @entry survived
+    assert reg.blocks["@entry"].final_target == "@entry"
+    assert [i.operands[1].value for i in reg.blocks["@entry"].insns] == [1, 2]
+
+
+def test_diamond_join_never_merges():
+    """A join point has two predecessors; absorbing it into either arm
+    would duplicate or orphan the other's edge."""
+    reg = _registry(
+        _block("@e", 1, final_target="@l", extra_succs=["@r"]),
+        _block("@l", 2, final_target="@j"),
+        _block("@r", 3, final_target="@j"),
+        _block("@j", 4),
+    )
+    merge_linear_chains(reg, "@e")
+    assert "@j" in reg.blocks
+    assert reg.blocks["@l" if "@l" in reg.blocks else "@e"].final_target == "@j"
+    assert reg.blocks["@r"].final_target == "@j"
+
+
+def _reference_merge(reg: BlockRegistry, entry_label: str) -> None:
+    """The old restart-from-scratch formulation, kept as the oracle."""
+    changed = True
+    while changed:
+        changed = False
+        preds: Counter = Counter()
+        for blk in reg.blocks.values():
+            for succ in blk.successors:
+                preds[succ] += 1
+        for label, blk in list(reg.blocks.items()):
+            tgt = blk.final_target
+            if (
+                tgt is not None
+                and tgt != label
+                and tgt != entry_label
+                and preds.get(tgt, 0) == 1
+                and tgt in reg.blocks
+            ):
+                nxt = reg.blocks.pop(tgt)
+                blk.insns.extend(nxt.insns)
+                blk.final_target = nxt.final_target
+                blk.successors = [s for s in blk.successors if s != tgt]
+                blk.successors.extend(nxt.successors)
+                changed = True
+                break
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_worklist_matches_restart_oracle_on_random_cfgs(seed):
+    """The worklist merge must produce exactly the shape the old
+    quadratic restart loop produced, on arbitrary small CFGs."""
+    rng = random.Random(seed)
+    labels = [f"@b{i}" for i in range(rng.randint(2, 10))]
+    spec = []
+    for i, label in enumerate(labels):
+        tgt = rng.choice(labels + [None])
+        extra = [rng.choice(labels)] if rng.random() < 0.4 else []
+        spec.append((label, i, tgt, extra))
+
+    def build():
+        return _registry(*[
+            _block(label, marker, final_target=tgt, extra_succs=extra)
+            for label, marker, tgt, extra in spec
+        ])
+
+    a, b = build(), build()
+    merge_linear_chains(a, labels[0])
+    _reference_merge(b, labels[0])
+    assert _shape(a) == _shape(b)
+
+
+# ------------------------------------------------------------ pass registry
+def test_every_available_pass_round_trips_through_load():
+    for name in AVAILABLE_PASSES:
+        fn = _load_pass(name)
+        assert callable(fn), name
+
+
+def test_unknown_pass_is_a_rewrite_failure():
+    with pytest.raises(RewriteFailure) as exc:
+        _load_pass("no-such-pass")
+    assert exc.value.reason == "bad-pass"
+
+
+def test_rewrite_config_accepts_every_registered_pass():
+    conf = RewriteConfig(passes=tuple(AVAILABLE_PASSES))
+    for name in conf.passes:
+        assert callable(_load_pass(name))
