@@ -1,0 +1,17 @@
+"""EXT-8: adversarial torture sweep + static vs runtime rewriting.
+
+The benchmark's JSON record (``BENCH_ext8.json``) carries the torture
+contract counters (images, rewritten-verified, graceful per reason,
+miscompiles, escapes), the static-vs-runtime guest-cycle comparison on
+the stencil and PGAS workloads, both modes' rewrite costs, and the warm
+dispatch latencies — the numbers behind the paper's argument against
+ahead-of-time rewriting, plus the robustness contract that argument
+rests on.
+"""
+
+from repro.experiments.torture_exp import ext8_static_vs_runtime
+
+
+def test_ext8_static_vs_runtime(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext8_static_vs_runtime, rounds=1, iterations=1)
+    record_experiment(exp)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.errors import DecodeError, RewriteFailure
 from repro.isa.encoding import iter_decode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
@@ -63,5 +64,18 @@ def disassemble(
     symbols: dict[int, str] | None = None,
     with_addresses: bool = True,
 ) -> str:
-    """Decode ``code`` and render it as a numbered listing."""
-    return format_listing(iter_decode(code, base_addr), symbols, with_addresses)
+    """Decode ``code`` and render it as a numbered listing.
+
+    Bytes that do not decode — truncated encodings, unknown opcodes,
+    impossible operand shapes — surface as a tagged
+    :class:`~repro.errors.RewriteFailure` (``undecodable-instruction``),
+    never a raw decoder exception: disassembly sits on the same
+    graceful-failure contract as the rewrite pipeline."""
+    try:
+        instructions = list(iter_decode(code, base_addr))
+    except DecodeError as exc:
+        where = f" at 0x{exc.address:x}" if exc.address is not None else ""
+        raise RewriteFailure(
+            "undecodable-instruction", f"cannot disassemble{where}: {exc}"
+        ) from exc
+    return format_listing(instructions, symbols, with_addresses)

@@ -53,6 +53,7 @@ from repro.core.api import (
     brew_setpar,
 )
 from repro.core.resilience import RewriteSupervisor, supervised_rewrite, validate_variant
+from repro.core.staticrewrite import StaticImageRewriter, StaticRewriteReport
 
 __all__ = [
     "BREW_KNOWN", "BREW_PTR_TO_KNOWN", "BREW_UNKNOWN",
@@ -60,4 +61,5 @@ __all__ = [
     "brew_init_conf", "brew_setpar", "brew_setmem", "brew_setfunc",
     "brew_setdynamic", "brew_rewrite",
     "RewriteSupervisor", "supervised_rewrite", "validate_variant",
+    "StaticImageRewriter", "StaticRewriteReport",
 ]

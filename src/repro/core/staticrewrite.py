@@ -1,0 +1,139 @@
+"""Ahead-of-time whole-image rewriting (the static mode, PR 6).
+
+Zipr and Multiverse rewrite the *whole binary* before it runs; BREW's
+thesis is that doing it at runtime is both easier (concrete addresses,
+no pointer provenance problem) and better specialized (arguments are
+known).  This module implements the static side of that comparison
+honestly inside the same infrastructure: every function in the guest
+image is rewritten ahead of execution with **no arguments known** — the
+best a static rewriter can promise — and calls are then dispatched
+through the precomputed table.
+
+What the comparison (experiment EXT-8) measures:
+
+* static mode pays its entire rewrite cost up front, before the first
+  call, and its variants are generic (no argument folding);
+* runtime mode pays per first-call, and its variants specialize on the
+  actual arguments.
+
+Both modes share the same pipeline underneath —
+:class:`~repro.core.manager.SpecializationManager` over ``brew_rewrite``
+— so measured differences are mode differences, not implementation
+differences.  Functions the pipeline cannot handle fall back to their
+original bodies per the graceful-failure contract, tagged with their
+taxonomy reason in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.api import brew_init_conf
+from repro.core.config import RewriteConfig
+from repro.core.manager import SpecializationManager
+
+
+@dataclass
+class StaticRewriteReport:
+    """Outcome of one whole-image pass."""
+
+    functions: int = 0
+    rewritten: int = 0
+    #: function name -> taxonomy reason for every graceful fallback.
+    fallbacks: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fallback_count(self) -> int:
+        return len(self.fallbacks)
+
+
+class StaticImageRewriter:
+    """Whole-image ahead-of-time rewriting over a loaded machine.
+
+    Usage mirrors the runtime manager::
+
+        static = StaticImageRewriter(machine)
+        report = static.rewrite_image()        # pay everything up front
+        machine.cpu.run(static.entry("apply"), *args)
+
+    ``entry`` is total: names the pass never saw (or could not rewrite)
+    resolve to their original addresses, so callers need no fallback
+    logic of their own.
+    """
+
+    def __init__(
+        self,
+        machine,
+        *,
+        manager: SpecializationManager | None = None,
+        conf: RewriteConfig | None = None,
+        metrics=None,
+    ) -> None:
+        self.machine = machine
+        self.metrics = metrics
+        self.manager = (
+            manager
+            if manager is not None
+            else SpecializationManager(machine, metrics=metrics)
+        )
+        #: Template config; copied per function.  All parameters default
+        #: to UNKNOWN — exactly the information a static rewriter has.
+        self.conf = conf if conf is not None else brew_init_conf()
+        #: original address -> dispatch address (variant or original).
+        self.dispatch: dict[int, int] = {}
+        self.report = StaticRewriteReport()
+
+    # ----------------------------------------------------------- rewriting
+    def _image_functions(self) -> list[tuple[str, int]]:
+        """``(name, addr)`` for every guest function, sorted by address.
+
+        Snapshot semantics: taken before any rewriting, restricted to
+        the code segment — emitted variants land in ``function_sizes``
+        too, and re-rewriting rewritten output would double-count.
+        """
+        image = self.machine.image
+        code = image.seg_code
+        by_addr = {addr: None for addr in sorted(image.function_sizes)
+                   if code.base <= addr < code.end}
+        for name, addr in image.symbols.items():
+            if addr in by_addr:
+                by_addr[addr] = name
+        return [
+            (name if name is not None else f"fn_0x{addr:x}", addr)
+            for addr, name in by_addr.items()
+        ]
+
+    def rewrite_image(self) -> StaticRewriteReport:
+        """Rewrite every function in the image, ahead of any execution.
+
+        Idempotent: a second call re-serves everything from the
+        manager's cache and leaves the dispatch table unchanged.
+        """
+        report = StaticRewriteReport()
+        for name, addr in self._image_functions():
+            report.functions += 1
+            result = self.manager.get(self.conf.copy(), addr)
+            self.dispatch[addr] = result.entry_or_original
+            if result.ok:
+                report.rewritten += 1
+            else:
+                report.fallbacks[name] = result.reason or "internal"
+        self.report = report
+        if self.metrics is not None:
+            self.metrics.inc("static.functions", report.functions)
+            self.metrics.inc("static.rewritten", report.rewritten)
+            for reason in sorted(report.fallbacks.values()):
+                self.metrics.inc(f"static.fallback.{reason}")
+        return report
+
+    # ------------------------------------------------------------ dispatch
+    def entry(self, fn) -> int:
+        """Dispatch address for ``fn`` (name or address): the rewritten
+        variant when the pass produced one, the original otherwise."""
+        addr = self.machine.image.resolve(fn)
+        return self.dispatch.get(addr, addr)
+
+    def call(self, fn, *args, max_steps: int = 200_000_000):
+        """Run ``fn`` through the static dispatch table."""
+        return self.machine.cpu.run(self.entry(fn), *args,
+                                    max_steps=max_steps)

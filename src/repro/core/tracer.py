@@ -38,7 +38,9 @@ import struct
 from dataclasses import dataclass, field
 from time import monotonic as _monotonic
 
-from repro.errors import DecodeError, RewriteFailure
+from repro.errors import (
+    DecodeError, MemoryError_, RewriteFailure, UndecodableError,
+)
 from repro.abi.callconv import (
     CALLEE_SAVED, FLOAT_ARG_REGS, INT_ARG_REGS,
 )
@@ -189,6 +191,8 @@ class Tracer:
             )
         try:
             insn = self._decode(self.pc)
+        except UndecodableError as exc:
+            raise RewriteFailure("undecodable-instruction", str(exc)) from exc
         except DecodeError as exc:
             raise RewriteFailure("decode-error", str(exc)) from exc
         self.stats.traced_instructions += 1
@@ -199,9 +203,23 @@ class Tracer:
             self.stats.folded_instructions += 1
 
     def _decode(self, addr: int) -> Instruction:
-        seg = self.image.memory.segment_for(addr, 2)
         from repro.machine.memory import Perm
 
+        try:
+            seg = self.image.memory.segment_for(addr, 2)
+        except MemoryError_:
+            # Distinguish a fetch that genuinely walked off every mapped
+            # segment from an access-machinery fault (e.g. an injected
+            # SegmentationFault on a mapped address): scan the segment
+            # list directly so the answer does not depend on the
+            # (patchable) resolution path that just failed.
+            if any(s.base <= addr and addr + 2 <= s.end
+                   for s in self.image.memory.segments):
+                raise
+            raise RewriteFailure(
+                "fetch-out-of-bounds",
+                f"instruction fetch at unmapped address 0x{addr:x}",
+            ) from None
         if Perm.X not in seg.perms:
             raise RewriteFailure(
                 "not-executable", f"trace reached non-executable address 0x{addr:x}"
@@ -411,10 +429,27 @@ class Tracer:
             return KnownInt(_bits_of_float(value.value))
         return value
 
+    def _store_hits_code(self, addr: int, size: int = 8) -> bool:
+        """Does a store to ``[addr, addr+size)`` overlap executable bytes?
+
+        A trace folding values out of the image must refuse such stores:
+        the specialized body could go stale the instant it runs (the
+        runtime tiers invalidate their caches on code writes, but a
+        rewrite baked around the *old* bytes cannot be fixed up)."""
+        return any(
+            seg.executable and addr < seg.end and addr + size > seg.base
+            for seg in self.image.memory.segments
+        )
+
     def mem_store(self, addr: Value, value: Value, src_operand, *, is_float: bool) -> None:
         """Model a store; emits when needed (see module doc policy)."""
         key = self._mem_key(addr)
         assert key is not None, "unknown-address stores are handled by the caller"
+        if key[0] == "a" and self._store_hits_code(key[1]):
+            raise RewriteFailure(
+                "self-modifying-code",
+                f"traced store targets executable bytes at 0x{key[1]:x}",
+            )
         self.world.kill_mem_overlapping(key)
         if value is not None:
             if key[0] == "s":

@@ -26,6 +26,17 @@ class DecodeError(ReproError):
         self.address = address
 
 
+class UndecodableError(DecodeError):
+    """Bytes decoded structurally but name no executable instruction.
+
+    The wire format is permissive: any opcode byte may be paired with any
+    form byte, so ``MOV`` with zero operands or ``RET`` with two decodes
+    without error yet can never execute.  The decoder rejects such shapes
+    with this subclass so consumers can distinguish *garbage that parses*
+    (``undecodable-instruction``) from *garbage that does not*
+    (``decode-error``)."""
+
+
 class AssemblerError(ReproError):
     """Text assembly was malformed (unknown mnemonic, bad operand...)."""
 
@@ -89,6 +100,11 @@ FAILURE_REASONS: dict[str, str] = {
     "bad-pass": "an unknown optimization pass name was configured",
     # -- code the tracer cannot follow ------------------------------------
     "decode-error": "bytes at the traced pc do not decode to an instruction",
+    "undecodable-instruction": "bytes at the traced pc decode structurally "
+                               "but name no executable instruction (operand "
+                               "shape impossible for the opcode)",
+    "fetch-out-of-bounds": "the trace walked off every mapped segment "
+                           "(instruction fetch at an unmapped address)",
     "not-executable": "the trace reached a non-executable address",
     "unsupported-insn": "the decoded instruction has no transfer function",
     "bad-operand": "an operand form the tracer cannot model",
@@ -105,6 +121,9 @@ FAILURE_REASONS: dict[str, str] = {
     "disp-overflow": "a folded displacement does not fit rel32/disp32",
     # -- known-value semantics --------------------------------------------
     "div-by-zero": "a fully-known division by zero was traced",
+    "self-modifying-code": "a traced store targets executable bytes; the "
+                           "specialized trace could go stale the moment it "
+                           "runs, so the rewrite refuses",
     # -- resource budgets (retryable at a more conservative rung) ---------
     "trace-limit": "max_trace_steps exceeded while tracing",
     "buffer-full": "max_output_instructions exceeded (paper Sec. III.G: "

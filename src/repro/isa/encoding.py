@@ -37,13 +37,90 @@ from __future__ import annotations
 import struct
 from collections.abc import Iterable, Sequence
 
-from repro.errors import DecodeError, EncodingError
+from repro.errors import DecodeError, EncodingError, UndecodableError
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op, OpClass, op_info
 from repro.isa.operands import FReg, Imm, Label, Mem, Operand, Reg
 from repro.isa.registers import GPR, XMM
 
 K_NONE, K_GPR, K_XMM, K_IMM32, K_IMM64, K_MEM, K_REL32 = range(7)
+
+# --------------------------------------------------------- shape validation
+#
+# The wire format pairs any opcode byte with any form byte, so adversarial
+# bytes routinely decode into shapes no assembler would emit (``MOV`` with
+# zero operands, ``RET`` with two, ``ADDSD`` on a GPR).  Downstream
+# consumers — the interpreter, the block JIT, the tracer — would each fail
+# on those in their own way (raw ``ValueError`` unpacking operands, wrong
+# codegen...).  ``decode`` therefore checks the decoded operand tuple
+# against a per-opcode signature and raises
+# :class:`~repro.errors.UndecodableError` on mismatch, making every
+# consumer reject garbage identically at the fetch boundary.
+#
+# Signature alphabet: G = integer register, X = float register,
+# M = memory, I = immediate.  Each operand position is a string of the
+# kinds acceptable there.
+
+_G, _X, _M, _I = "G", "X", "M", "I"
+_GM, _GMI, _XM, _XMI, _GX = "GM", "GMI", "XM", "XMI", "GX"
+
+_SHAPES: dict[Op, tuple[str, ...]] = {
+    Op.MOV: (_GM, _GMI),
+    Op.LEA: (_G, _M),
+    Op.PUSH: (_GMI,),
+    Op.POP: (_GM,),
+    Op.ADD: (_GM, _GMI), Op.SUB: (_GM, _GMI), Op.AND: (_GM, _GMI),
+    Op.OR: (_GM, _GMI), Op.XOR: (_GM, _GMI), Op.IMUL: (_GM, _GMI),
+    Op.NEG: (_GM,), Op.NOT: (_GM,), Op.INC: (_GM,), Op.DEC: (_GM,),
+    Op.SHL: (_GM, _GMI), Op.SHR: (_GM, _GMI), Op.SAR: (_GM, _GMI),
+    Op.IDIV: (_GM,),
+    Op.CMP: (_GMI, _GMI), Op.TEST: (_GMI, _GMI),
+    Op.MOVSD: (_XM, _XMI),
+    Op.ADDSD: (_X, _XM), Op.SUBSD: (_X, _XM), Op.MULSD: (_X, _XM),
+    Op.DIVSD: (_X, _XM), Op.SQRTSD: (_X, _XM),
+    Op.UCOMISD: (_X, _XM),
+    Op.CVTSI2SD: (_X, _GM), Op.CVTTSD2SI: (_G, _XM),
+    Op.XORPD: (_X, _XM),
+    Op.MOVQ: (_GX, _GX),
+    Op.MOVUPD: (_XM, _XM),
+    Op.ADDPD: (_X, _XM), Op.SUBPD: (_X, _XM), Op.MULPD: (_X, _XM),
+    Op.HADDPD: (_X, _XM),
+    Op.JMP: (_I,), Op.JMPI: (_G,),
+    Op.CALL: (_I,), Op.CALLI: (_G,),
+    Op.RET: (),
+    Op.NOP: (), Op.HLT: (),
+}
+# Every SETcc takes one writable integer destination; every Jcc one
+# (rel32-decoded) immediate target.
+for _op in Op:
+    _cls = op_info(_op).opclass
+    if _cls is OpClass.SETCC:
+        _SHAPES[_op] = (_GM,)
+    elif _cls is OpClass.JCC:
+        _SHAPES[_op] = (_I,)
+
+
+def _operand_letter(operand: Operand) -> str:
+    if isinstance(operand, Reg):
+        return _G
+    if isinstance(operand, FReg):
+        return _X
+    if isinstance(operand, Mem):
+        return _M
+    return _I
+
+
+def shape_problem(op: Op, operands: tuple[Operand, ...]) -> str | None:
+    """Why ``op`` can never execute with ``operands`` — or None if it can."""
+    want = _SHAPES[op]
+    if len(operands) != len(want):
+        return (f"{op} takes {len(want)} operand(s), "
+                f"decoded {len(operands)}")
+    for i, (operand, allowed) in enumerate(zip(operands, want)):
+        if _operand_letter(operand) not in allowed:
+            return (f"operand {i + 1} of {op} cannot be "
+                    f"{type(operand).__name__}")
+    return None
 
 _INT32_MIN, _INT32_MAX = -(1 << 31), (1 << 31) - 1
 
@@ -221,6 +298,9 @@ def decode(buf: bytes | bytearray | memoryview, addr: int = 0, offset: int = 0) 
     except ValueError as exc:  # bad register id / scale
         raise DecodeError(str(exc), addr) from exc
 
+    problem = shape_problem(op, tuple(operands))
+    if problem is not None:
+        raise UndecodableError(problem, addr)
     return Instruction(op, tuple(operands), addr=addr, size=pos - offset)
 
 

@@ -157,6 +157,9 @@ class _BlockCompiler:
         self.n_loads = 0
         self.n_stores = 0
         self._tmp_n = 0
+        #: Number of inlined store sites emitted so far; :meth:`gen` uses
+        #: the delta per instruction to place self-modification exits.
+        self._store_sites = 0
 
     # ------------------------------------------------------------ emission
     def emit(self, line: str) -> None:
@@ -225,6 +228,15 @@ class _BlockCompiler:
         e("mstores[seg_.name] += 1")
         fn = "PQI" if fmt == "Q" else "PDI"
         e(f"{fn}(seg_.data, {t} - seg_.base, {value_expr})")
+        # A store into executable bytes must invalidate decoded-code
+        # caches (including this JIT's own) and stop the block at the
+        # next instruction boundary — the bytes it compiled may be the
+        # ones just overwritten (see the ``cw_`` exit in :meth:`gen`).
+        e("if seg_.executable:")
+        e(f"    cpu.image.notify_code_write({t}, 8)")
+        e("    cw_ = True")
+        self._store_sites += 1
+        self.needs.add("cw")
         if count_inline:
             e("perf.stores += 1")
         else:
@@ -291,13 +303,37 @@ class _BlockCompiler:
         """Translate the whole block; returns the function source."""
         insns = self.insns
         need_flags = self._flag_liveness(insns)
-        for i, insn in enumerate(insns[:-1] if self._has_ender() else insns):
+        straight = insns[:-1] if self._has_ender() else insns
+        for i, insn in enumerate(straight):
+            sites_before = self._store_sites
             self.gen_insn(insn, need_flags[i])
+            if self._store_sites > sites_before and i + 1 < len(insns):
+                self._selfmod_exit(i, insn)
         if self._has_ender():
             self.gen_ender(insns[-1], need_flags[len(insns) - 1])
         else:
             self.epilogue(self._base_cost(insns), repr(self.fall_pc))
         return self.render()
+
+    def _selfmod_exit(self, i: int, insn: Instruction) -> None:
+        """Leave the block right after instruction ``i`` if it stored
+        into executable bytes: the remaining compiled instructions may be
+        the ones just overwritten, and the interpreter (which refetches
+        every step) would already see the new bytes.  Charges exactly the
+        counters accrued so far, so an exited block is bit-for-bit
+        equivalent to interpreting its executed prefix."""
+        e = self.emit
+        next_pc = (insn.addr or 0) + (insn.size or 0)
+        e("if cw_:")
+        e(f"    perf.instructions += {i + 1}")
+        if self.n_loads:
+            e(f"    perf.loads += {self.n_loads}")
+        if self.n_stores:
+            e(f"    perf.stores += {self.n_stores}")
+        e(f"    perf.cycles += {self._base_cost(self.insns[:i + 1])}")
+        e(f"    cpu._ran_partial = {i + 1}")
+        e(f"    cpu.pc = {next_pc}")
+        e(f"    return {next_pc}")
 
     def _has_ender(self) -> bool:
         return self.insns[-1].info.opclass in _BLOCK_ENDERS
@@ -311,6 +347,14 @@ class _BlockCompiler:
         for i in range(len(insns) - 1, -1, -1):
             info = insns[i].info
             cls = info.opclass
+            # A store-capable instruction can hit executable bytes, which
+            # exits the block right after it (see _selfmod_exit) — the
+            # flags state at that point becomes observable, so the
+            # preceding flag-writer may not be elided.
+            if cls is OpClass.PUSH or any(
+                type(o) is Mem for o in insns[i].operands
+            ):
+                live = True
             # DIV advertises writes_flags but the machine leaves flags
             # untouched, so it must not count as an overwrite here
             if info.writes_flags and cls is not OpClass.DIV:
@@ -683,6 +727,8 @@ class _BlockCompiler:
         if "mem" in self.needs:
             pre.append("    seg_ = cpu._seg_cache or NOSEG")
             pre.append("    segfor = cpu.memory.segment_for")
+        if "cw" in self.needs:
+            pre.append("    cw_ = False")
         if "mloads" in self.needs:
             pre.append("    mloads = cpu.memory.loads")
         if "mstores" in self.needs:
@@ -863,7 +909,15 @@ class BlockJIT:
                         # exhaustion faults on exactly the same step
                         return cpu._interp_loop(max_steps, steps)
                     pc = blk.run(cpu)
-                    steps += blk.n_insns
+                    ran = cpu._ran_partial
+                    if ran is None:
+                        steps += blk.n_insns
+                    else:
+                        # the block left through its code-write exit
+                        # after `ran` of its instructions (self-
+                        # modification): charge only what executed
+                        steps += ran
+                        cpu._ran_partial = None
                     if pc == halt:
                         return steps
                     if self.gen != gen:

@@ -81,10 +81,28 @@ class CPU:
         # all filled at decode time — one dict hit per interpreted step,
         # and no cache keyed on object identity to go stale
         self._icache: dict[int, tuple[Instruction, int, int]] = {}
+        #: Set by a compiled block that exits early through its
+        #: code-write (self-modification) path: the number of its
+        #: instructions that actually executed.  The dispatch loop
+        #: consumes it so step counts stay exact across tiers.
+        self._ran_partial: int | None = None
         self._seg_cache = None  # last segment hit (cheap TLB)
         #: Tier-1 block engine (:class:`repro.machine.blockjit.BlockJIT`)
         #: when attached; None runs the plain interpreter loop.
         self.jit = None
+        image.code_listeners.append(self._on_code_write)
+
+    def _on_code_write(self, addr: int, length: int) -> None:
+        """Drop icache entries whose decoded bytes overlap the write.
+
+        Entries are keyed by start address; the longest encoding is 18
+        bytes (header + two 8-byte operands), so scanning back 17 from
+        the write covers every entry that could span into
+        ``[addr, addr+length)``."""
+        if not self._icache:
+            return
+        for entry_addr in range(addr - 17, addr + length):
+            self._icache.pop(entry_addr, None)
 
     # ------------------------------------------------------------------ mem
     def _segment(self, addr: int, length: int = 8):
@@ -117,6 +135,8 @@ class CPU:
         self.memory.stores[seg.name] += 1
         self.perf.stores += 1
         struct.pack_into("<Q", seg.data, addr - seg.base, value & MASK64)
+        if seg.executable:
+            self.image.notify_code_write(addr, 8)
 
     def load_f64(self, addr: int) -> float:
         """Double load with counters and segment surcharge."""
@@ -133,6 +153,8 @@ class CPU:
         self.memory.stores[seg.name] += 1
         self.perf.stores += 1
         struct.pack_into("<d", seg.data, addr - seg.base, value)
+        if seg.executable:
+            self.image.notify_code_write(addr, 8)
 
     # --------------------------------------------------------------- fetch
     def fetch(self, addr: int) -> Instruction:

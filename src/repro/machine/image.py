@@ -110,9 +110,18 @@ class Image:
         seg = self.memory.segment_for(addr, len(data))
         off = addr - seg.base
         seg.data[off : off + len(data)] = data
-        if self.code_listeners and seg.executable:
-            for listener in self.code_listeners:
-                listener(addr, len(data))
+        if seg.executable:
+            self.notify_code_write(addr, len(data))
+
+    def notify_code_write(self, addr: int, length: int) -> None:
+        """Fire the executable-write listeners for ``[addr, addr+length)``.
+
+        Every path that mutates executable bytes must route through here
+        (``poke`` does; the CPU's store helpers do for guest stores that
+        land in code) so decoded-instruction caches — the interpreter
+        icache and the block JIT — can never serve stale bytes."""
+        for listener in self.code_listeners:
+            listener(addr, max(length, 1))
 
     def peek(self, addr: int, length: int) -> bytes:
         """Loader-level raw read (bypasses permissions and counters)."""

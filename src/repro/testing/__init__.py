@@ -15,9 +15,17 @@ from repro.testing.faultinject import (
     EXPECTED_REASON,
     FAULT_KINDS,
     NETWORK_FAULT_KINDS,
+    TORTURE_FAULT_KINDS,
     FaultInjector,
     inject_fault,
     plan_faults,
+)
+from repro.testing.torture import (
+    TORTURE_CLASSES,
+    TortureImage,
+    TortureReport,
+    generate_images,
+    run_torture,
 )
 
 __all__ = [
@@ -26,7 +34,13 @@ __all__ = [
     "EXPECTED_REASON",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",
+    "TORTURE_CLASSES",
+    "TORTURE_FAULT_KINDS",
     "FaultInjector",
+    "TortureImage",
+    "TortureReport",
+    "generate_images",
     "inject_fault",
     "plan_faults",
+    "run_torture",
 ]

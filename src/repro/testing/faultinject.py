@@ -53,6 +53,17 @@ sampling, persistent state, admission control):
     forced to shed → the caller keeps the original under reason
     ``service-shed``.
 
+Four more cover the adversarial-guest situations the torture suite
+(PR 6) generates organically, so they can also be hit deliberately:
+
+``undecodable`` / ``self-modify-mid-trace`` / ``indirect-jump-unknown``
+/ ``segment-escape``
+    The Nth decode yields an impossible operand shape → reason
+    ``undecodable-instruction``; the Nth traced store lands in
+    executable bytes → ``self-modifying-code``; the Nth jump target is
+    unknowable → ``indirect-jump``; the Nth instruction fetch walks off
+    every mapped segment → ``fetch-out-of-bounds``.
+
 Injection sites are patched for the dynamic extent of the context
 manager only and restored unconditionally; injectors are reusable but
 not reentrant.
@@ -64,7 +75,10 @@ import random
 from types import SimpleNamespace
 from typing import Iterator
 
-from repro.errors import DecodeError, EncodingError, SegmentationFault
+from repro.errors import (
+    DecodeError, EncodingError, RewriteFailure, SegmentationFault,
+    UndecodableError,
+)
 
 #: All supported rewrite-pipeline fault classes, in pipeline order.
 FAULT_KINDS = ("decode", "memory", "emit", "pass")
@@ -80,8 +94,24 @@ NETWORK_FAULT_KINDS = ("drop", "corrupt", "delay", "partition")
 #: a corrupted persisted snapshot record, a forced admission shed.
 ASSURANCE_FAULT_KINDS = ("shadow", "snapshot", "shed")
 
-#: Every injectable fault class: pipeline, interconnect, assurance.
-ALL_FAULT_KINDS = FAULT_KINDS + NETWORK_FAULT_KINDS + ASSURANCE_FAULT_KINDS
+#: Adversarial-guest fault classes (PR 6, the torture suite): the four
+#: ways hostile code bytes break a trace.  ``undecodable`` makes the Nth
+#: decode return garbage that parses but names no instruction;
+#: ``self-modify-mid-trace`` makes the Nth traced store land in
+#: executable bytes; ``indirect-jump-unknown`` makes the Nth jump's
+#: target unknowable; ``segment-escape`` makes the Nth instruction fetch
+#: walk off every mapped segment.
+TORTURE_FAULT_KINDS = (
+    "undecodable", "self-modify-mid-trace", "indirect-jump-unknown",
+    "segment-escape",
+)
+
+#: Every injectable fault class: pipeline, interconnect, assurance,
+#: adversarial-guest.
+ALL_FAULT_KINDS = (
+    FAULT_KINDS + NETWORK_FAULT_KINDS + ASSURANCE_FAULT_KINDS
+    + TORTURE_FAULT_KINDS
+)
 
 #: The documented failure reason each injected fault class must surface
 #: as — ``RewriteResult.reason`` for pipeline kinds,
@@ -99,6 +129,10 @@ EXPECTED_REASON = {
     "shadow": "shadow-divergence",
     "snapshot": "snapshot-corrupt",
     "shed": "service-shed",
+    "undecodable": "undecodable-instruction",
+    "self-modify-mid-trace": "self-modifying-code",
+    "indirect-jump-unknown": "indirect-jump",
+    "segment-escape": "fetch-out-of-bounds",
 }
 
 #: Marker embedded in every injected exception message so tests can tell
@@ -142,7 +176,7 @@ class FaultInjector:
             raise RuntimeError("FaultInjector is not reentrant")
         self.calls = 0
         self.fired = False
-        install = getattr(self, f"_install_{self.kind}")
+        install = getattr(self, f"_install_{self.kind.replace('-', '_')}")
         self._restore = install()
         return self
 
@@ -318,6 +352,95 @@ class FaultInjector:
 
         def restore():
             RewriteService._admit = real
+
+        return restore
+
+    def _install_undecodable(self):
+        """Patch the tracer's view of :func:`repro.isa.encoding.decode`
+        so the Nth decoded instruction parses structurally but names no
+        executable instruction — the adversarial-bytes shape the torture
+        generator produces organically."""
+        import repro.core.tracer as tracer_mod
+
+        real = tracer_mod.decode
+
+        def faulty_decode(buf, addr=0, offset=0):
+            """Injected: the Nth decode yields an impossible shape."""
+            if self._tick():
+                raise UndecodableError(f"{INJECTED_MARK}: undecodable", addr)
+            return real(buf, addr, offset)
+
+        tracer_mod.decode = faulty_decode
+
+        def restore():
+            tracer_mod.decode = real
+
+        return restore
+
+    def _install_self_modify_mid_trace(self):
+        """Patch :meth:`repro.core.tracer.Tracer._store_hits_code` so the
+        Nth absolute-address store the trace models appears to land in
+        executable bytes — the organic ``self-modifying-code`` refusal
+        does the rest."""
+        from repro.core.tracer import Tracer
+
+        real = Tracer._store_hits_code
+
+        def faulty_check(tracer, addr, size=8):
+            """Injected: the Nth checked store targets code bytes."""
+            if self._tick():
+                return True
+            return real(tracer, addr, size)
+
+        Tracer._store_hits_code = faulty_check
+
+        def restore():
+            Tracer._store_hits_code = real
+
+        return restore
+
+    def _install_indirect_jump_unknown(self):
+        """Patch :meth:`repro.core.tracer.Tracer._do_jmp` so the Nth
+        jump's target is unknowable — the paper's canonical unhandled
+        situation (Sec. III.F), surfacing as ``indirect-jump``."""
+        from repro.core.tracer import Tracer
+
+        real = Tracer._do_jmp
+
+        def faulty_jmp(tracer, insn, next_pc):
+            """Injected: the Nth jump has an unknown target."""
+            if self._tick():
+                raise RewriteFailure(
+                    "indirect-jump", f"{INJECTED_MARK}: indirect-jump-unknown"
+                )
+            return real(tracer, insn, next_pc)
+
+        Tracer._do_jmp = faulty_jmp
+
+        def restore():
+            Tracer._do_jmp = real
+
+        return restore
+
+    def _install_segment_escape(self):
+        """Patch :meth:`repro.core.tracer.Tracer._decode` so the Nth
+        instruction fetch happens at a genuinely unmapped address — the
+        organic unmapped-fetch conversion (``fetch-out-of-bounds``) runs
+        for real, segment scan and all."""
+        from repro.core.tracer import Tracer
+
+        real = Tracer._decode
+
+        def faulty_fetch(tracer, addr):
+            """Injected: redirect the Nth fetch off every segment."""
+            if self._tick():
+                addr = 0x6666_0000_0000  # far beyond every mapped segment
+            return real(tracer, addr)
+
+        Tracer._decode = faulty_fetch
+
+        def restore():
+            Tracer._decode = real
 
         return restore
 

@@ -1,0 +1,536 @@
+"""Adversarial BX64 image generator and torture harness (PR 6).
+
+BREW's core promise (paper Sec. III.G) is *graceful failure*: anything
+the rewriter cannot handle must fail into the original function, never
+miscompile.  The ordinary corpus is well-behaved compiler output, which
+exercises that promise exactly nowhere.  This module generates hostile
+guest images — overlapping instruction streams, data bytes interleaved
+in code, computed and indirect jumps, jump tables, self-modifying
+sequences, truncated and undecodable encodings, stack and red-zone
+abuse, reads that walk off mapped segments — and runs every one through
+the full pipeline (supervisor → tracer → passes → emit → dispatch, plus
+the block JIT) with shadow execution as the oracle.
+
+The contract enforced, per image:
+
+* the rewrite either succeeds **and** the variant's architectural
+  results are bit-for-bit those of the interpreted original, or
+* it fails gracefully into a reason registered in
+  :data:`repro.errors.FAILURE_REASONS`, with the original still running
+  bit-for-bit correctly, and
+* the block JIT executes the original bit-for-bit like the interpreter
+  (including under self-modification);
+
+**zero silent miscompiles, zero untagged escapes**.  Everything is
+seeded: building the same spec twice yields byte-identical images, and
+:func:`run_torture` with the same seed yields a bit-for-bit identical
+report fingerprint (no wall clock, no ``id()``-derived ordering).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import struct
+from dataclasses import dataclass, field
+
+from repro.asm.assembler import assemble
+from repro.errors import FAILURE_REASONS, CpuError, ReproError
+from repro.machine.vm import Machine
+
+#: Bytes reserved per torture function; generated code is poked over the
+#: front, the tail keeps its fill so fall-through walks into known bytes.
+_SLOT = 512
+
+#: A far address no segment covers (fetch-out-of-bounds territory);
+#: only reachable through a register — it fits neither rel32 nor disp32.
+_UNMAPPED = 0x6666_0000_0000
+
+#: An unmapped address inside the gap between the code segment (ends at
+#: 0x101000) and rodata (0x200000) — reachable by direct jumps.
+_UNMAPPED_NEAR = 0x150000
+
+#: Guest step budget; images that spin past it classify as ``timeout``
+#: and are excluded from the bit-for-bit comparison (a faster variant
+#: legitimately finishes work the original could not).
+DEFAULT_MAX_STEPS = 60_000
+
+# Wire-format sizes, probed once: the builders lay out code by hand
+# (patching bytes, jumping mid-instruction) and must not guess widths.
+_NOP_LEN = len(assemble("nop", 0)[0])
+_JMP_LEN = len(assemble("jmp 16", 0)[0])
+_MOV_RR_LEN = len(assemble("mov rax, rdi", 0)[0])
+_MOV_I64_LEN = len(assemble(f"mov rcx, {1 << 40}", 0)[0])
+_STORE_ABS_LEN = len(assemble("mov [4096], rcx", 0)[0])
+
+
+@dataclass(frozen=True)
+class TortureImage:
+    """A seeded spec for one adversarial image.
+
+    The spec carries no machine state: :func:`build_image` re-derives
+    code, data and arguments from ``seed`` alone, so building twice
+    yields byte-identical images (the determinism contract)."""
+
+    index: int
+    kind: str
+    seed: int
+    #: 1-based parameter positions declared KNOWN to the rewriter.
+    known_params: tuple[int, ...] = ()
+
+
+@dataclass
+class TortureReport:
+    """Aggregate outcome of one torture sweep."""
+
+    seed: int
+    outcomes: list[dict] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def miscompiles(self) -> int:
+        return self.counters.get("torture.miscompiles", 0)
+
+    @property
+    def escapes(self) -> int:
+        return self.counters.get("torture.escapes", 0)
+
+    @property
+    def contract_holds(self) -> bool:
+        """Zero silent miscompiles, zero untagged escapes, and every
+        image landed in exactly one classification."""
+        classified = (
+            self.counters.get("torture.rewritten_verified", 0)
+            + self.counters.get("torture.graceful", 0)
+            + self.miscompiles + self.escapes
+        )
+        return (
+            self.miscompiles == 0
+            and self.escapes == 0
+            and classified == self.counters.get("torture.images", 0)
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of the whole report (replay assertion hook)."""
+        blob = json.dumps(
+            {"seed": self.seed, "outcomes": self.outcomes,
+             "counters": self.counters},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ===================================================== image class builders
+#
+# Each builder receives (machine, rng, entry_addr) after the function
+# slot is reserved, may allocate rodata/data on the image, and returns
+# ``(source, patches, args)``: assembly text for the slot, raw byte
+# patches applied over the assembled code (offset-relative to entry),
+# and the argument tuple the harness calls with.
+
+
+def _well_behaved(m: Machine, rng: random.Random, entry: int):
+    ops = ("add", "sub", "imul", "xor", "and", "or")
+    lines = ["mov rax, rdi"]
+    for _ in range(rng.randint(2, 6)):
+        op = rng.choice(ops)
+        src = "rsi" if rng.random() < 0.5 else str(rng.randint(1, 99))
+        lines.append(f"{op} rax, {src}")
+    lines.append("ret")
+    return "\n".join(lines), [], (rng.randint(1, 1000), rng.randint(1, 1000))
+
+
+def _data_in_code(m: Machine, rng: random.Random, entry: int):
+    """A jump hops over an island of raw data bytes; the good path never
+    touches them.  Multiverse-style rewriters choke here when they
+    linearly disassemble; tracing skips the island by construction."""
+    n_pad = rng.randint(2, 6)
+    src = "\n".join(
+        ["jmp skip"] + ["nop"] * n_pad
+        + ["skip:", "mov rax, rdi", f"add rax, {rng.randint(1, 50)}", "ret"]
+    )
+    island = bytes(rng.randrange(256) for _ in range(_NOP_LEN * n_pad))
+    return src, [(_JMP_LEN, island)], (rng.randint(1, 100),)
+
+
+def _jump_into_data(m: Machine, rng: random.Random, entry: int):
+    """Like :func:`_data_in_code`, but the jump lands *inside* the data
+    island: decode of arbitrary bytes, equivalently, on every tier."""
+    n_pad = rng.randint(2, 6)
+    pad = _NOP_LEN * n_pad
+    src = "\n".join(
+        [f"jmp {entry + _JMP_LEN + rng.randrange(pad)}"] + ["nop"] * n_pad
+        + ["mov rax, rdi", "ret"]
+    )
+    island = bytes(rng.randrange(256) for _ in range(pad))
+    return src, [(_JMP_LEN, island)], (rng.randint(1, 100),)
+
+
+def _overlap(m: Machine, rng: random.Random, entry: int):
+    """Jump into the middle of an instruction: the same bytes decode as
+    a different, overlapping stream."""
+    imm64 = rng.getrandbits(62) | (1 << 40)  # force the imm64 encoding
+    # the jump lands inside the imm64 payload of the second mov
+    payload = entry + _MOV_RR_LEN + (_MOV_I64_LEN - 8)
+    src = "\n".join([
+        "mov rax, rdi",
+        f"mov rcx, {imm64}",
+        f"jmp {payload + rng.randrange(8)}",
+        "ret",
+    ])
+    return src, [], (rng.randint(1, 100),)
+
+
+def _computed_jump(m: Machine, rng: random.Random, entry: int):
+    """An indirect jump through a register holding a computed target.
+    Half the time the target arrives as the (unknown) first argument —
+    the paper's canonical unhandled case."""
+    good = entry + _SLOT - 16
+    patches = [(_SLOT - 16, _ret_block(rng.randint(1, 255)))]
+    if rng.random() < 0.5:
+        # target computed in-function from constants: the trace folds it
+        half = good // 2
+        src = "\n".join([
+            f"mov rax, {half}",
+            f"add rax, {good - half}",
+            "jmpi rax",
+        ])
+        return src, patches, (rng.randint(1, 100),)
+    # target flows in via rdi: unknown to the tracer
+    return "jmpi rdi", patches, (good,)
+
+
+def _jump_table(m: Machine, rng: random.Random, entry: int):
+    """A rodata table of code addresses indexed by the first argument."""
+    cases = [entry + _SLOT - 16 * (i + 1) for i in range(3)]
+    patches = [
+        (_SLOT - 16 * (i + 1), _ret_block(10 * (i + 1))) for i in range(3)
+    ]
+    table = m.image.add_rodata(None, b"".join(
+        struct.pack("<Q", c) for c in cases
+    ))
+    src = "\n".join([
+        f"mov rax, [{table} + rdi*8]",
+        "jmpi rax",
+    ])
+    return src, patches, (rng.randrange(3),)
+
+
+def _self_modify(m: Machine, rng: random.Random, entry: int):
+    """The guest overwrites its own upcoming instruction, then executes
+    it.  Every tier must see the new bytes: the interpreter refetches
+    per step, the block JIT must invalidate through the code-write
+    listeners, and the tracer must refuse (``self-modifying-code``)."""
+    v1, v2 = rng.randint(1, 1000), rng.randint(1, 1000)
+    # the victim: "mov rax, imm32" followed by ret; the patch qword
+    # rewrites the immediate and re-asserts ret's opcode byte
+    victim = assemble(f"mov rax, {v2}", 0)[0]
+    ret_op = assemble("ret", 0)[0][:1]
+    assert len(victim) == 7, "patch qword assumes a 7-byte mov imm32"
+    patch_qword = struct.unpack("<Q", victim + ret_op)[0]
+    # layout: mov rcx, patch ; mov [victim_addr], rcx ; victim ; ret
+    victim_addr = entry + _MOV_I64_LEN + _STORE_ABS_LEN
+    src = "\n".join([
+        f"mov rcx, {patch_qword}",
+        f"mov [{victim_addr}], rcx",
+        f"mov rax, {v1}",
+        "ret",
+    ])
+    # belt and suspenders: re-patch the imm64 payload so the qword the
+    # guest writes is exactly the bytes computed above
+    patches = [(_MOV_I64_LEN - 8, struct.pack("<Q", patch_qword))]
+    return src, patches, ()
+
+
+def _truncated(m: Machine, rng: random.Random, entry: int):
+    """A well-formed prefix, then bytes that do not decode: an unknown
+    opcode, an impossible operand shape, or a truncated tail."""
+    lines = ["mov rax, rdi", f"add rax, {rng.randint(1, 50)}"]
+    prefix_len = len(assemble("\n".join(lines), entry)[0])
+    # transplant opcodes onto a reg,reg form so the bytes parse
+    # structurally but name an impossible shape for the opcode
+    rr_form = assemble("mov rax, rcx", 0)[0]
+    flavor = rng.randrange(3)
+    if flavor == 0:    # unknown opcode byte
+        garbage = bytes([0xFF, 0x00])
+    elif flavor == 1:  # RET with two register operands: parses, impossible
+        garbage = assemble("ret", 0)[0][:1] + rr_form[1:]
+    else:              # JMP with register operands instead of a rel32
+        garbage = assemble("jmp 16", 0)[0][:1] + rr_form[1:]
+    return "\n".join(lines), [(prefix_len, garbage)], (rng.randint(1, 100),)
+
+
+def _segment_escape(m: Machine, rng: random.Random, entry: int):
+    """Control flow walks off every mapped segment (or into one that is
+    mapped but not executable)."""
+    flavor = rng.randrange(3)
+    if flavor == 0:    # direct jump to the void
+        src = f"jmp {_UNMAPPED_NEAR + rng.randrange(0x1000) * 8}"
+        return src, [], ()
+    if flavor == 1:    # indirect jump to the void via an argument
+        return "jmpi rdi", [], (_UNMAPPED + rng.randrange(0x1000) * 8,)
+    # jump into mapped-but-not-executable data
+    target = 0x400000 + rng.randrange(0x1000) * 8
+    return f"jmp {target}", [], ()
+
+
+def _stack_abuse(m: Machine, rng: random.Random, entry: int):
+    """Break the symbolic stack model: repoint rsp at flat data, or
+    return with the frame off balance."""
+    if rng.random() < 0.5:
+        scratch = 0x400000 + 0x2000 + rng.randrange(64) * 8
+        src = "\n".join([
+            "push rdi",
+            f"mov rsp, {scratch}",
+            "pop rax",
+            "ret",
+        ])
+        return src, [], (rng.randint(1, 100),)
+    src = "\n".join([
+        "mov rax, rdi",
+        "push rsi",
+        "ret",           # returns into the pushed argument value
+    ])
+    return src, [], (rng.randint(1, 100), _UNMAPPED)
+
+
+def _wild_read(m: Machine, rng: random.Random, entry: int):
+    """Loads that walk off mapped memory — absolute or via a poisoned
+    pointer argument."""
+    if rng.random() < 0.5:
+        src = "\n".join([
+            f"mov rcx, {_UNMAPPED + rng.randrange(256) * 8}",
+            "mov rax, [rcx]",
+            "ret",
+        ])
+        return src, [], ()
+    src = "\n".join(["mov rax, [rdi]", "ret"])
+    return src, [], (_UNMAPPED + rng.randrange(256) * 8,)
+
+
+def _div_zero(m: Machine, rng: random.Random, entry: int):
+    """A fully-known division by zero: the trace must refuse, the guest
+    must fault identically on every tier."""
+    src = "\n".join([
+        "mov rax, rdi",
+        "xor rcx, rcx",
+        "idiv rcx",
+        "ret",
+    ])
+    return src, [], (rng.randint(1, 100),)
+
+
+def _red_zone(m: Machine, rng: random.Random, entry: int):
+    """Reads and writes below rsp (the red zone) mixed with frame
+    traffic — legal for leaves, hostile to naive stack models."""
+    off = rng.choice((8, 16, 24, 32))
+    src = "\n".join([
+        "mov [rsp - %d], rdi" % off,
+        "mov rax, [rsp - %d]" % off,
+        f"add rax, {rng.randint(1, 50)}",
+        "ret",
+    ])
+    return src, [], (rng.randint(1, 1000),)
+
+
+def _ret_block(value: int) -> bytes:
+    """Encoded ``mov rax, imm32 ; ret`` — a 9-byte landing pad."""
+    return assemble(f"mov rax, {value}\nret", 0)[0]
+
+
+#: kind -> (builder, weight).  Weights skew toward the hostile classes
+#: while keeping a well-behaved control group that must rewrite cleanly.
+TORTURE_CLASSES: dict[str, tuple] = {
+    "well-behaved": (_well_behaved, 3),
+    "data-in-code": (_data_in_code, 2),
+    "jump-into-data": (_jump_into_data, 2),
+    "overlap": (_overlap, 2),
+    "computed-jump": (_computed_jump, 2),
+    "jump-table": (_jump_table, 2),
+    "self-modify": (_self_modify, 2),
+    "truncated": (_truncated, 2),
+    "segment-escape": (_segment_escape, 2),
+    "stack-abuse": (_stack_abuse, 2),
+    "wild-read": (_wild_read, 2),
+    "div-zero": (_div_zero, 1),
+    "red-zone": (_red_zone, 1),
+}
+
+
+def generate_images(seed: int, count: int) -> list[TortureImage]:
+    """``count`` seeded specs with a deterministic class mix."""
+    rng = random.Random(seed)
+    kinds = [k for k, (_, w) in sorted(TORTURE_CLASSES.items())
+             for _ in range(w)]
+    specs = []
+    for index in range(count):
+        kind = rng.choice(kinds)
+        spec_seed = rng.getrandbits(48)
+        known: tuple[int, ...] = ()
+        if kind == "jump-table" and rng.random() < 0.5:
+            known = (1,)  # known index: the table lookup and jump fold
+        specs.append(TortureImage(index, kind, spec_seed, known))
+    return specs
+
+
+def build_image(spec: TortureImage) -> tuple[Machine, int, tuple]:
+    """Materialize one spec: a fresh machine, the entry address, and the
+    argument tuple.  Pure function of the spec (see determinism note in
+    the module docstring)."""
+    rng = random.Random(spec.seed)
+    m = Machine()
+    name = f"torture_{spec.index}"
+    entry = m.image.add_function(name, bytes(_SLOT))
+    builder, _ = TORTURE_CLASSES[spec.kind]
+    source, patches, args = builder(m, rng, entry)
+    code, _ = assemble(source, entry)
+    slot = bytearray(_SLOT)
+    slot[: len(code)] = code
+    for offset, data in patches:
+        slot[offset : offset + len(data)] = data
+    m.image.poke(entry, bytes(slot))
+    return m, entry, args
+
+
+# ============================================================= the oracle
+
+
+def _run_outcome(m: Machine, entry: int, args: tuple, max_steps: int):
+    """Normalized architectural outcome of one guest run.
+
+    ``("ok", uint, float_bits, data_sha, heap_sha)`` for a clean return;
+    ``("fault", ExceptionClassName)`` for a guest crash;
+    ``("timeout",)`` past the step budget.  Stack bytes and perf
+    counters are excluded on purpose: spill elision and folding change
+    both without changing architectural results."""
+    try:
+        run = m.cpu.run(entry, *args, max_steps=max_steps)
+    except CpuError as exc:
+        if "max_steps" in str(exc):
+            return ("timeout",)
+        return ("fault", type(exc).__name__)
+    except ReproError as exc:
+        return ("fault", type(exc).__name__)
+    return (
+        "ok",
+        run.uint_return,
+        struct.pack("<d", run.float_return).hex(),
+        hashlib.sha1(bytes(m.image.seg_data.data)).hexdigest(),
+        hashlib.sha1(bytes(m.image.seg_heap.data)).hexdigest(),
+    )
+
+
+def _make_conf(spec: TortureImage):
+    from repro.core import BREW_KNOWN, brew_init_conf, brew_setpar
+
+    conf = brew_init_conf()
+    for position in spec.known_params:
+        brew_setpar(conf, position, BREW_KNOWN)
+    return conf
+
+
+def run_torture(
+    seed: int,
+    count: int = 100,
+    *,
+    metrics=None,
+    jit_parity: bool = True,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    specs: list[TortureImage] | None = None,
+) -> TortureReport:
+    """Run a seeded torture sweep and classify every image.
+
+    Per image: the interpreted original is the oracle; the full
+    supervisor pipeline rewrites on a second identical machine; the
+    block JIT runs the original on a third.  Classifications:
+
+    * ``rewritten-verified`` — rewrite succeeded and the variant's
+      architectural outcome is bit-for-bit the oracle's;
+    * ``graceful:<reason>`` — rewrite failed into a registered
+      taxonomy reason, and the fallback original still matches;
+    * ``miscompile`` — any bit-for-bit divergence (variant, fallback,
+      or JIT tier) — contract violation;
+    * ``escape`` — an exception escaped the supervisor, or a failure
+      carried an unregistered reason — contract violation.
+    """
+    from repro.core.resilience import RewriteSupervisor
+
+    if specs is None:
+        specs = generate_images(seed, count)
+    report = TortureReport(seed=seed)
+    for spec in specs:
+        record = {"index": spec.index, "kind": spec.kind,
+                  "classification": None, "reason": None}
+        report._count("torture.images")
+        report._count(f"torture.class.{spec.kind}")
+
+        m_oracle, entry, args = build_image(spec)
+        oracle = _run_outcome(m_oracle, entry, args, max_steps)
+        if oracle[0] == "fault":
+            report._count("torture.guest_faults")
+        elif oracle[0] == "timeout":
+            report._count("torture.timeouts")
+
+        m_rw, entry_rw, _ = build_image(spec)
+        assert entry_rw == entry, "spec builds must be deterministic"
+        try:
+            result = RewriteSupervisor(m_rw).rewrite(
+                _make_conf(spec), entry, *args
+            )
+        except BaseException as exc:  # noqa: BLE001 — the contract line
+            record["classification"] = "escape"
+            record["reason"] = f"raised:{type(exc).__name__}"
+            report._count("torture.escapes")
+            report.outcomes.append(record)
+            continue
+
+        if not result.ok and result.reason not in FAILURE_REASONS:
+            record["classification"] = "escape"
+            record["reason"] = f"untagged:{result.reason}"
+            report._count("torture.escapes")
+            report.outcomes.append(record)
+            continue
+
+        # run what the caller would actually run (variant or fallback)
+        outcome = _run_outcome(m_rw, result.entry_or_original, args, max_steps)
+        matches = (
+            outcome == oracle
+            or outcome[0] == "timeout" or oracle[0] == "timeout"
+        )
+        jit_matches = True
+        if jit_parity:
+            m_jit, entry_jit, _ = build_image(spec)
+            m_jit.enable_jit()
+            jit_outcome = _run_outcome(m_jit, entry_jit, args, max_steps)
+            jit_matches = (
+                jit_outcome == oracle
+                or jit_outcome[0] == "timeout" or oracle[0] == "timeout"
+            )
+            if not jit_matches:
+                report._count("torture.jit_divergence")
+
+        if not (matches and jit_matches):
+            record["classification"] = "miscompile"
+            record["reason"] = (
+                result.reason if not result.ok
+                else ("jit-tier" if matches else "variant")
+            )
+            report._count("torture.miscompiles")
+        elif result.ok:
+            record["classification"] = "rewritten-verified"
+            report._count("torture.rewritten_verified")
+        else:
+            record["classification"] = f"graceful:{result.reason}"
+            record["reason"] = result.reason
+            report._count("torture.graceful")
+            report._count(f"torture.graceful.{result.reason}")
+        report.outcomes.append(record)
+
+    if metrics is not None:
+        for name, value in sorted(report.counters.items()):
+            metrics.inc(name, value)
+    return report

@@ -78,6 +78,8 @@ def test_every_opcode_formats_without_crashing():
                 samples.append(ins(op, Imm(0x2000)))
         elif cls in (OpClass.PUSH, OpClass.POP, OpClass.DIV, OpClass.SETCC):
             samples.append(ins(op, Reg(GPR.RCX)))
+        elif op in (Op.NEG, Op.NOT, Op.INC, Op.DEC):
+            samples.append(ins(op, Reg(GPR.RAX)))
         elif cls in (OpClass.FMOV, OpClass.FALU, OpClass.FDIV, OpClass.FCMP,
                      OpClass.VMOV, OpClass.VALU):
             samples.append(ins(op, FReg(XMM.XMM1), FReg(XMM.XMM2)))

@@ -25,7 +25,10 @@ from repro.core.rewriter import RewriteResult
 from repro.errors import FAILURE_REASONS
 from repro.machine.vm import Machine
 from repro.profiling.value_profile import FunctionProfile
-from repro.testing import EXPECTED_REASON, FAULT_KINDS, inject_fault, plan_faults
+from repro.testing import (
+    EXPECTED_REASON, FAULT_KINDS, TORTURE_FAULT_KINDS, inject_fault,
+    plan_faults,
+)
 
 
 def load_asm(machine: Machine, name: str, src: str) -> int:
@@ -387,3 +390,65 @@ def test_specialize_hot_param_pads_to_profile_width(machine):
     recorder = Recorder()
     specialize_hot_param(machine, "mul2", profile, 1, supervisor=recorder)
     assert recorder.args == (7, 0, 0)
+
+
+# ================================================ adversarial-guest classes
+# the four torture fault kinds (PR 6): each patches a tracer seam that a
+# hostile guest exercises organically — undecodable bytes, stores into
+# executable segments, unknowable jump targets, fetches off the image
+
+# a direct jump, so the _do_jmp seam is reached
+JUMPY = """
+    mov rax, rdi
+    imul rax, rsi
+    jmp done
+done:
+    ret
+"""
+
+# an absolute store (into the data segment), so the tracer's
+# store-hits-code check is reached; rdi stays unknown under known2_conf
+STOREY = """
+    mov [4194304], rdi
+    mov rax, rdi
+    imul rax, rsi
+    ret
+"""
+
+#: kind -> (function name, source) exercising that seam.
+TORTURE_KIND_GUESTS = {
+    "undecodable": ("mul2", None),
+    "self-modify-mid-trace": ("storey", STOREY),
+    "indirect-jump-unknown": ("jumpy", JUMPY),
+    "segment-escape": ("mul2", None),
+}
+
+
+@pytest.mark.parametrize("kind", TORTURE_FAULT_KINDS)
+def test_adversarial_fault_surfaces_as_tagged_result(machine, kind):
+    """Every adversarial-guest fault class becomes ok=False with its
+    documented reason — no exception escapes ``brew_rewrite``."""
+    name, src = TORTURE_KIND_GUESTS[kind]
+    if src is not None:
+        load_asm(machine, name, src)
+    with inject_fault(kind, nth=1) as injector:
+        result = brew_rewrite(machine, known2_conf(), name, 5, 7)
+    assert injector.fired
+    assert not result.ok
+    assert result.reason == EXPECTED_REASON[kind]
+    assert result.reason in FAILURE_REASONS
+    assert result.entry_or_original == result.original
+
+
+@pytest.mark.parametrize("kind", TORTURE_FAULT_KINDS)
+def test_adversarial_seam_is_restored_after_injection(machine, kind):
+    """The patched seam is gone once the context exits: the identical
+    rewrite succeeds and the variant computes the right product."""
+    name, src = TORTURE_KIND_GUESTS[kind]
+    if src is not None:
+        load_asm(machine, name, src)
+    with inject_fault(kind, nth=1):
+        brew_rewrite(machine, known2_conf(), name, 5, 7)
+    result = brew_rewrite(machine, known2_conf(), name, 5, 7)
+    assert result.ok, result.message
+    assert machine.cpu.run(result.entry, 6, 7).uint_return == 42

@@ -15,7 +15,7 @@ from pathlib import Path
 from repro.errors import FAILURE_REASONS
 from repro.testing import (
     ALL_FAULT_KINDS, ASSURANCE_FAULT_KINDS, EXPECTED_REASON,
-    NETWORK_FAULT_KINDS,
+    NETWORK_FAULT_KINDS, TORTURE_FAULT_KINDS,
 )
 
 REPO = Path(__file__).resolve().parent.parent
@@ -90,3 +90,27 @@ def test_assurance_fault_reasons_cover_the_assurance_namespace():
     assert injectable == {"shadow-divergence", "snapshot-corrupt", "service-shed"}
     registered = injectable & set(FAILURE_REASONS)
     assert registered == injectable
+
+
+def test_torture_fault_reasons_cover_the_adversarial_namespace():
+    """The adversarial-guest fault classes (undecodable bytes,
+    self-modification mid-trace, unknown indirect jumps, fetches off
+    every segment) map onto registered reasons, and the three reasons
+    this PR introduced are each reachable by injection — a new
+    adversarial image class must come with its taxonomy entry."""
+    injectable = {EXPECTED_REASON[k] for k in TORTURE_FAULT_KINDS}
+    assert injectable == {
+        "undecodable-instruction", "self-modifying-code",
+        "indirect-jump", "fetch-out-of-bounds",
+    }
+    assert injectable <= set(FAILURE_REASONS)
+
+
+def test_torture_classes_declare_positive_weights():
+    """Every adversarial image class must participate in the seeded mix
+    (a zero-weight class would silently drop out of the sweep)."""
+    from repro.testing import TORTURE_CLASSES
+
+    for kind, (builder, weight) in TORTURE_CLASSES.items():
+        assert callable(builder), kind
+        assert weight >= 1, f"class {kind!r} has weight {weight}"

@@ -1,0 +1,163 @@
+"""The adversarial torture suite and its zero-silent-miscompile contract.
+
+Three layers under test:
+
+* the **generator** — seeded specs build byte-identical hostile images
+  on every call (the determinism satellite: no wall clock, no ``id()``
+  ordering anywhere in the pipeline);
+* the **harness** — a sweep classifies every image as
+  rewritten-verified, ``graceful:<reason>`` or a contract violation,
+  and replays bit-for-bit from its seed;
+* the **oracle** — sabotaged pipelines (wrong variant, raw exception,
+  unregistered reason) are *caught*, proving the contract checks would
+  actually fire on a real miscompile rather than vacuously passing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.rewriter import RewriteResult
+from repro.errors import FAILURE_REASONS
+from repro.obs import Metrics
+from repro.testing import TORTURE_CLASSES, generate_images, run_torture
+from repro.testing.torture import build_image
+
+#: Sweep sizes tuned for CI; the acceptance sweep (500+) runs the same
+#: code path via the torture-smoke job and EXT-8.
+SWEEP = 50
+SEED = 424242
+
+
+# ============================================================== generator
+def test_generate_images_is_deterministic():
+    a = generate_images(SEED, 30)
+    b = generate_images(SEED, 30)
+    assert a == b
+    assert generate_images(SEED + 1, 30) != a
+
+
+def test_generator_covers_every_class():
+    kinds = {spec.kind for spec in generate_images(SEED, 300)}
+    assert kinds == set(TORTURE_CLASSES)
+
+
+def test_build_image_is_deterministic():
+    """The same spec materializes byte-identical code and arguments."""
+    spec = generate_images(SEED, 1)[0]
+    m1, entry1, args1 = build_image(spec)
+    m2, entry2, args2 = build_image(spec)
+    assert entry1 == entry2
+    assert args1 == args2
+    seg1, seg2 = m1.image.seg_code, m2.image.seg_code
+    assert bytes(seg1.data) == bytes(seg2.data)
+
+
+@pytest.mark.parametrize("kind", sorted(TORTURE_CLASSES))
+def test_each_class_builds_and_honors_the_contract(kind):
+    """Every adversarial class, in isolation, stays inside the
+    contract: rewritten-verified or graceful, never miscompile/escape."""
+    specs = [s for s in generate_images(SEED, 200) if s.kind == kind][:3]
+    assert specs, f"generator produced no {kind!r} specs in 200 draws"
+    report = run_torture(SEED, specs=specs)
+    assert report.contract_holds, report.outcomes
+    assert report.counters[f"torture.class.{kind}"] == len(specs)
+
+
+# ================================================================ harness
+def test_sweep_contract_holds():
+    metrics = Metrics()
+    report = run_torture(SEED, SWEEP, metrics=metrics)
+    assert report.contract_holds
+    assert report.miscompiles == 0
+    assert report.escapes == 0
+    assert report.counters["torture.images"] == SWEEP
+    # every image landed in exactly one classification bucket
+    for outcome in report.outcomes:
+        c = outcome["classification"]
+        assert c == "rewritten-verified" or c.startswith("graceful:"), outcome
+    # every graceful reason is a registered taxonomy entry
+    for key in report.counters:
+        if key.startswith("torture.graceful."):
+            assert key.split("torture.graceful.", 1)[1] in FAILURE_REASONS
+    # counters were mirrored into the observability registry
+    snapshot = metrics.snapshot_json()
+    assert '"torture.images":50' in snapshot
+
+
+def test_sweep_replays_bit_for_bit():
+    """The EXT-3/EXT-5 determinism pattern: one seed, one fingerprint."""
+    first = run_torture(SEED, 20)
+    second = run_torture(SEED, 20)
+    assert first.fingerprint() == second.fingerprint()
+    assert first.outcomes == second.outcomes
+    assert run_torture(SEED + 7, 20).fingerprint() != first.fingerprint()
+
+
+# ============================================== the oracle catches sabotage
+def _well_behaved_specs(n=1):
+    return [s for s in generate_images(SEED, 100)
+            if s.kind == "well-behaved"][:n]
+
+
+def test_oracle_catches_a_miscompiled_variant(monkeypatch):
+    """A supervisor that hands out a wrong-answer variant must be
+    classified as a miscompile — the contract check is not vacuous."""
+    from repro.core import resilience
+
+    class EvilSupervisor:
+        def __init__(self, machine, **kwargs):
+            self.machine = machine
+
+        def rewrite(self, conf, fn, *args):
+            original = self.machine.image.resolve(fn)
+            wrong = self.machine.image.add_function(
+                None, assemble("mov rax, 31337\nret", 0)[0])
+            return RewriteResult(ok=True, original=original, entry=wrong)
+
+    monkeypatch.setattr(resilience, "RewriteSupervisor", EvilSupervisor)
+    report = run_torture(SEED, specs=_well_behaved_specs(), jit_parity=False)
+    assert not report.contract_holds
+    assert report.miscompiles == 1
+    assert report.outcomes[0]["classification"] == "miscompile"
+
+
+def test_oracle_catches_an_escaping_exception(monkeypatch):
+    """A raw exception out of the pipeline is an escape, not a crash of
+    the harness itself."""
+    from repro.core import resilience
+
+    class CrashySupervisor:
+        def __init__(self, machine, **kwargs):
+            pass
+
+        def rewrite(self, conf, fn, *args):
+            raise RuntimeError("pipeline blew up")
+
+    monkeypatch.setattr(resilience, "RewriteSupervisor", CrashySupervisor)
+    report = run_torture(SEED, specs=_well_behaved_specs(), jit_parity=False)
+    assert not report.contract_holds
+    assert report.escapes == 1
+    assert report.outcomes[0]["reason"] == "raised:RuntimeError"
+
+
+def test_oracle_catches_an_unregistered_reason(monkeypatch):
+    """A failure tagged with a reason outside FAILURE_REASONS is an
+    escape — the taxonomy is load-bearing, not decorative."""
+    from repro.core import resilience
+
+    class UntaggedSupervisor:
+        def __init__(self, machine, **kwargs):
+            self.machine = machine
+
+        def rewrite(self, conf, fn, *args):
+            return RewriteResult(
+                ok=False, original=self.machine.image.resolve(fn),
+                reason="made-up-reason")
+
+    monkeypatch.setattr(resilience, "RewriteSupervisor", UntaggedSupervisor)
+    report = run_torture(SEED, specs=_well_behaved_specs(), jit_parity=False)
+    assert not report.contract_holds
+    assert report.escapes == 1
+    assert report.outcomes[0]["reason"] == "untagged:made-up-reason"
