@@ -1,0 +1,21 @@
+"""EXT-7: the sharded rewrite fabric under a seeded fault schedule.
+
+The benchmark's JSON record (``BENCH_ext7.json``) carries the p50/p99
+dispatch-latency histogram rows and the fabric health counters — the
+numbers the bulkhead story turns on (degradation has a measured cost;
+a hostile tenant's shed rate dwarfs a well-behaved one's).
+
+The mixed-tenant campaign runs here at 2*10^4 requests over 4 shards so
+the benchmark suite stays interactive; ``ext7_fabric()``'s defaults
+(10^5 over 6 shards) are the full-scale acceptance run.
+"""
+
+from repro.experiments.fabric_exp import ext7_fabric
+
+
+def test_ext7_fabric(benchmark, record_experiment):
+    exp = benchmark.pedantic(
+        lambda: ext7_fabric(requests=20_000, shards=4),
+        rounds=1, iterations=1,
+    )
+    record_experiment(exp)

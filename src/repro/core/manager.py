@@ -231,6 +231,17 @@ class SpecializationManager:
         entries are evicted (explicit invalidation or staleness)."""
         self._listeners.append(callback)
 
+    def remove_invalidation_listener(
+        self, callback: Callable[[list[tuple]], None]
+    ) -> None:
+        """Unregister a listener (no-op when absent) — a closed rewrite
+        service detaches itself so a shared manager never fires into a
+        dead dispatch table."""
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
     def _evict(self, keys: list[tuple]) -> None:
         for k in keys:
             del self._cache[k]

@@ -90,6 +90,19 @@ def _literal_key(text: str) -> tuple:
     return key
 
 
+def _collides_with_live_code(image, entry: int, code_size: int, code: bytes) -> bool:
+    """Whether placing ``code`` at ``entry`` would overwrite a
+    *different* live function body.  Byte-identical overlap is fine
+    (an idempotent re-restore, or two shards that emitted the same
+    deterministic rewrite); anything else is a collision."""
+    lo, hi = entry, entry + code_size
+    overlaps = any(
+        addr < hi and lo < addr + size
+        for addr, size in image.function_sizes.items()
+    )
+    return overlaps and image.peek(entry, code_size) != code
+
+
 @dataclass
 class RestoreReport:
     """What :func:`load_manager` did: which keys came back (split by
@@ -150,7 +163,11 @@ def save_manager(manager, path: str | Path) -> Path:
 
 def _restore_one(manager, record: dict) -> tuple[tuple, bool]:
     """File one decoded entry record into ``manager``; returns
-    ``(key, ok)``.  Raises ``snapshot-corrupt`` on schema trouble."""
+    ``(key, ok)``.  Raises ``snapshot-corrupt`` on schema trouble and
+    ``snapshot-collision`` when the recorded body's address range is
+    already occupied by *different* live code (restoring a foreign
+    shard's snapshot into a machine that has done its own rewrites —
+    overwriting a live variant would corrupt answers silently)."""
     try:
         key = _literal_key(record["key"])
         ok = bool(record["ok"])
@@ -172,6 +189,12 @@ def _restore_one(manager, record: dict) -> tuple[tuple, bool]:
         if len(code) != code_size:
             raise RewriteFailure(
                 "snapshot-corrupt", "emitted-body length disagrees with code_size"
+            )
+        if code_size and _collides_with_live_code(image, entry, code_size, code):
+            raise RewriteFailure(
+                "snapshot-collision",
+                f"restore target [0x{entry:x}, 0x{entry + code_size:x}) "
+                "holds different live code",
             )
         image.reserve_rewrite(entry, code_size)
         image.poke(entry, code)
@@ -222,6 +245,7 @@ def load_manager(manager, path: str | Path) -> RestoreReport:
         report.version_ok = False
         metrics.inc("snapshot.version_mismatch")
         return report
+    stale = False
     for line in lines[1:]:
         if not line.strip():
             continue
@@ -229,10 +253,21 @@ def load_manager(manager, path: str | Path) -> RestoreReport:
             record = _decode_record(line)
             if record["kind"] == "meta":
                 report.epoch = int(record.get("epoch", 0))
+                # the epoch forward-ratchet, applied per restore: a
+                # snapshot written at an older epoch predates live
+                # invalidations, so its entries could resurrect stale
+                # variants — reject every entry record (not the call)
+                stale = report.epoch < manager.epoch
                 continue
             if record["kind"] != "entry":
                 raise RewriteFailure(
                     "snapshot-corrupt", f"unknown record kind {record['kind']!r}"
+                )
+            if stale:
+                raise RewriteFailure(
+                    "snapshot-stale",
+                    f"snapshot epoch {report.epoch} predates live epoch "
+                    f"{manager.epoch}",
                 )
             key, ok = _restore_one(manager, record)
         except RewriteFailure as failure:

@@ -142,9 +142,32 @@ FAILURE_REASONS: dict[str, str] = {
     "snapshot-corrupt": "a persisted specialization-state record failed "
                         "its CRC or schema check during restore and was "
                         "rejected (per entry, never the whole snapshot)",
+    "snapshot-stale": "a snapshot written at an older known-memory epoch "
+                      "was restored after a newer one: its entry records "
+                      "predate live invalidations and are rejected per "
+                      "entry (the epoch only ratchets forward)",
+    "snapshot-collision": "a restored body's address range is already "
+                          "occupied by different live code in this image; "
+                          "the record is rejected per entry rather than "
+                          "overwriting a live variant",
     "service-shed": "the rewrite service's admission control rejected a "
                     "request: bounded queue full or the per-key retry "
                     "budget exhausted",
+    # -- sharded rewrite fabric (service/fabric.py: bulkheads, tenant
+    #    quotas, heartbeat watchdog, failover) ---------------------------
+    "tenant-quota-exceeded": "the fabric's per-tenant admission control "
+                             "rejected a request: the tenant's queued-"
+                             "request quota on its home shard is full "
+                             "(the caller keeps the original; other "
+                             "tenants are unaffected)",
+    "shard-stalled": "the key's home shard stopped heartbeating and is "
+                     "suspected stalled; requests are answered with the "
+                     "original until the watchdog declares it dead and "
+                     "fails its keys over",
+    "shard-dead": "the key's home shard was declared dead (crash or "
+                  "heartbeat timeout); its pending work was drained and "
+                  "its keys re-routed by rendezvous hashing — callers "
+                  "observing the failover window keep the original",
     # -- interconnect faults (distributed runtime; tagged on a failed
     #    TransferReport by machine.link, never raised past the manager) ---
     "link-drop": "an interconnect bulk transfer was dropped on every "

@@ -20,6 +20,7 @@ from repro.experiments.chaos_exp import ext3_chaos
 from repro.experiments.amortization_exp import ext4_amortization
 from repro.experiments.soak_exp import ext5_soak
 from repro.experiments.jit_exp import ext6_blockjit
+from repro.experiments.fabric_exp import ext7_fabric
 from repro.experiments.torture_exp import ext8_static_vs_runtime
 from repro.experiments.ablations import (
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
@@ -30,7 +31,8 @@ ALL_EXPERIMENTS = (
     exp1_specialize, exp2_listing, exp3_grouped, exp4_call_overhead,
     exp5_makedynamic, exp6_pgas, exp7_domainmap, exp8_value_profile,
     ext1_rdma_prefetch, ext2_distributed_stencil, ext3_chaos,
-    ext4_amortization, ext5_soak, ext6_blockjit, ext8_static_vs_runtime,
+    ext4_amortization, ext5_soak, ext6_blockjit, ext7_fabric,
+    ext8_static_vs_runtime,
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
 )

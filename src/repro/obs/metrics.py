@@ -20,6 +20,10 @@ class Counter:
 
     name: str
     value: int = 0
+    #: Whether this metric has ever been written with gauge semantics.
+    #: :meth:`Metrics.merge` needs the distinction: counters sum across
+    #: registries, gauges take the last writer's level.
+    is_gauge: bool = False
 
     def inc(self, n: int = 1) -> int:
         self.value += n
@@ -28,6 +32,7 @@ class Counter:
     def set(self, value: int) -> None:
         """Gauge semantics: record the current level (queue depth etc.)."""
         self.value = value
+        self.is_gauge = True
 
 
 @dataclass
@@ -70,6 +75,17 @@ class CycleHistogram:
             "mean": round(self.mean, 3),
             "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
         }
+
+    def merge(self, other: "CycleHistogram") -> None:
+        """Fold ``other`` into this histogram bucket-wise (the buckets
+        are value-ranged, not positional, so summing per bucket is
+        exact: the merged histogram equals one histogram fed both
+        recording streams)."""
+        self.count += other.count
+        self.total += other.total
+        self.max_value = max(self.max_value, other.max_value)
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
 
 
 class Metrics:
@@ -132,6 +148,28 @@ class Metrics:
         """The one-line JSON snapshot benchmarks persist and the chaos
         experiment embeds; byte-identical across seeded reruns."""
         return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def merge(self, other: "Metrics", prefix: str = "") -> "Metrics":
+        """Fold ``other``'s registry into this one; returns ``self``.
+
+        The fabric-level aggregation primitive: counters **sum**,
+        histograms merge **bucket-wise** (exact — buckets are
+        value-ranged), and gauges (anything ever written via ``set``)
+        take ``other``'s level — last write wins, so merging per-shard
+        registries in deterministic shard order yields a deterministic
+        snapshot.  A name that is a gauge in either registry merges as
+        a gauge.  ``prefix`` namespaces every incoming name (the fabric
+        files shard ``i``'s registry under ``fabric.shard<i>.``)."""
+        for name in sorted(other._counters):
+            theirs = other._counters[name]
+            mine = self.counter(prefix + name)
+            if theirs.is_gauge or mine.is_gauge:
+                mine.set(theirs.value)
+            else:
+                mine.inc(theirs.value)
+        for name in sorted(other._histograms):
+            self.histogram(prefix + name).merge(other._histograms[name])
+        return self
 
     def merge_counters_into(self, out: dict) -> dict:
         """Add every counter into ``out`` (experiment health footers)."""

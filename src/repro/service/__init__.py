@@ -26,8 +26,23 @@ path), crash-safe snapshot/restore of the whole specialization state
 The EXT-5 soak experiment (:mod:`repro.experiments.soak_exp`) proves the
 whole loop: injected miscompiles are caught within the sampling window,
 restart-mid-soak restores the cache, overload sheds deterministically.
+
+PR-7 scales the service out: :class:`~repro.service.fabric.RewriteFabric`
+shards managers into N fault-isolated bulkhead domains routed by
+rendezvous hashing over the modelled interconnect, with per-tenant
+quotas and weighted-fair dequeue, a deterministic heartbeat watchdog,
+and snapshot-based warm-start failover (EXT-7:
+:mod:`repro.experiments.fabric_exp`).
 """
 
+from repro.service.fabric import (
+    RewriteFabric,
+    RewriteShard,
+    RouteResult,
+    SHARD_DEAD,
+    SHARD_HEALTHY,
+    SHARD_SUSPECT,
+)
 from repro.service.rewrite_service import (
     REWRITE_CYCLES_PER_TRACED_INSN,
     SHED_LOG_LIMIT,
@@ -36,8 +51,14 @@ from repro.service.rewrite_service import (
 )
 
 __all__ = [
+    "RewriteFabric",
     "RewriteService",
+    "RewriteShard",
+    "RouteResult",
     "REWRITE_CYCLES_PER_TRACED_INSN",
+    "SHARD_DEAD",
+    "SHARD_HEALTHY",
+    "SHARD_SUSPECT",
     "SHED_LOG_LIMIT",
     "modeled_rewrite_cycles",
 ]

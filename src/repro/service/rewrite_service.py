@@ -160,6 +160,7 @@ class RewriteService:
             if mode == "thread"
             else None
         )
+        self._closed = False
         #: manager cache key -> set of published table keys (aliases)
         self._aliases: dict = {}
         #: published table key -> owning manager cache key
@@ -326,9 +327,31 @@ class RewriteService:
         }
 
     def close(self) -> None:
-        if self._executor is not None:
+        """Deterministic shutdown: drain in-flight work, stop thread-mode
+        workers, and detach from the manager.
+
+        Idempotent.  In thread mode the executor is shut down with
+        ``wait=True`` so no worker thread outlives the service (the
+        thread-mode tests used to leak workers across cases).  The
+        manager invalidation listener is removed so a shared manager
+        that keeps living never fires into this service's dead dispatch
+        table."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
             self.drain()
-            self._executor.shutdown(wait=True)
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            self.manager.remove_invalidation_listener(self._on_invalidation)
+
+    def __enter__(self) -> "RewriteService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------- internal
     def _admit(self, key) -> str | None:

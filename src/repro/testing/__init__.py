@@ -13,6 +13,7 @@ from repro.testing.faultinject import (
     ALL_FAULT_KINDS,
     ASSURANCE_FAULT_KINDS,
     EXPECTED_REASON,
+    FABRIC_FAULT_KINDS,
     FAULT_KINDS,
     NETWORK_FAULT_KINDS,
     TORTURE_FAULT_KINDS,
@@ -32,6 +33,7 @@ __all__ = [
     "ALL_FAULT_KINDS",
     "ASSURANCE_FAULT_KINDS",
     "EXPECTED_REASON",
+    "FABRIC_FAULT_KINDS",
     "FAULT_KINDS",
     "NETWORK_FAULT_KINDS",
     "TORTURE_CLASSES",

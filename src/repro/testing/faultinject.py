@@ -53,6 +53,25 @@ sampling, persistent state, admission control):
     forced to shed → the caller keeps the original under reason
     ``service-shed``.
 
+Three more cover the sharded rewrite fabric (PR 7: bulkheads, tenant
+quotas, heartbeat watchdog, failover):
+
+``shard-crash``
+    The Nth rewrite performed by any shard raises an arbitrary
+    ``RuntimeError`` (the shard process dying mid-rewrite) → the fabric
+    declares the shard dead, fails its keys over, and requests routed to
+    it during the window are answered with the original under reason
+    ``shard-dead``.
+``shard-stall``
+    From the Nth heartbeat on, that shard's heartbeats are suppressed
+    (a wedged shard looks exactly like silence) → the watchdog suspects
+    it (``shard-stalled``) and eventually declares it dead.
+``tenant-flood``
+    The Nth per-tenant admission decision in
+    :meth:`repro.service.fabric.RewriteFabric._admit_tenant` is forced
+    to reject → the caller keeps the original under reason
+    ``tenant-quota-exceeded``.
+
 Four more cover the adversarial-guest situations the torture suite
 (PR 6) generates organically, so they can also be hit deliberately:
 
@@ -94,6 +113,11 @@ NETWORK_FAULT_KINDS = ("drop", "corrupt", "delay", "partition")
 #: a corrupted persisted snapshot record, a forced admission shed.
 ASSURANCE_FAULT_KINDS = ("shadow", "snapshot", "shed")
 
+#: Sharded-fabric fault classes (PR 7): a shard crashing mid-rewrite, a
+#: shard going silent (heartbeats suppressed), a hostile tenant pushed
+#: past its quota.
+FABRIC_FAULT_KINDS = ("shard-crash", "shard-stall", "tenant-flood")
+
 #: Adversarial-guest fault classes (PR 6, the torture suite): the four
 #: ways hostile code bytes break a trace.  ``undecodable`` makes the Nth
 #: decode return garbage that parses but names no instruction;
@@ -107,10 +131,10 @@ TORTURE_FAULT_KINDS = (
 )
 
 #: Every injectable fault class: pipeline, interconnect, assurance,
-#: adversarial-guest.
+#: fabric, adversarial-guest.
 ALL_FAULT_KINDS = (
     FAULT_KINDS + NETWORK_FAULT_KINDS + ASSURANCE_FAULT_KINDS
-    + TORTURE_FAULT_KINDS
+    + FABRIC_FAULT_KINDS + TORTURE_FAULT_KINDS
 )
 
 #: The documented failure reason each injected fault class must surface
@@ -129,6 +153,9 @@ EXPECTED_REASON = {
     "shadow": "shadow-divergence",
     "snapshot": "snapshot-corrupt",
     "shed": "service-shed",
+    "shard-crash": "shard-dead",
+    "shard-stall": "shard-stalled",
+    "tenant-flood": "tenant-quota-exceeded",
     "undecodable": "undecodable-instruction",
     "self-modify-mid-trace": "self-modifying-code",
     "indirect-jump-unknown": "indirect-jump",
@@ -352,6 +379,77 @@ class FaultInjector:
 
         def restore():
             RewriteService._admit = real
+
+        return restore
+
+    def _install_shard_crash(self):
+        """Patch :meth:`repro.service.fabric.RewriteShard.perform` so the
+        Nth dequeued rewrite (across all shards) dies with an arbitrary
+        ``RuntimeError`` — the fabric's crash containment must convert
+        it into a dead shard plus re-routed keys, never an escaping
+        exception or a wrong answer."""
+        from repro.service.fabric import RewriteShard
+
+        real = RewriteShard.perform
+
+        def faulty_perform(shard, work):
+            """Injected: the Nth shard rewrite crashes the shard."""
+            if self._tick():
+                raise RuntimeError(f"{INJECTED_MARK}: shard-crash")
+            return real(shard, work)
+
+        RewriteShard.perform = faulty_perform
+
+        def restore():
+            RewriteShard.perform = real
+
+        return restore
+
+    def _install_shard_stall(self):
+        """Patch :meth:`repro.service.fabric.RewriteShard.heartbeat` so
+        that from the Nth beat on, *that* shard's heartbeats are
+        swallowed (latched per shard — a wedged process never beats
+        again) — the watchdog must walk it through SUSPECT to DEAD."""
+        from repro.service.fabric import RewriteShard
+
+        real = RewriteShard.heartbeat
+        stalled: set[int] = set()
+
+        def faulty_heartbeat(shard, now):
+            """Injected: swallow heartbeats from the Nth beat on."""
+            if shard.index in stalled:
+                return
+            if self._tick():
+                stalled.add(shard.index)
+                return
+            return real(shard, now)
+
+        RewriteShard.heartbeat = faulty_heartbeat
+
+        def restore():
+            RewriteShard.heartbeat = real
+
+        return restore
+
+    def _install_tenant_flood(self):
+        """Patch :meth:`repro.service.fabric.RewriteFabric._admit_tenant`
+        so the Nth per-tenant admission decision rejects regardless of
+        quota state — the caller must keep the original under
+        ``tenant-quota-exceeded``, other tenants untouched."""
+        from repro.service.fabric import RewriteFabric
+
+        real = RewriteFabric._admit_tenant
+
+        def faulty_admit(fabric, tenant, shard):
+            """Injected: force the Nth tenant admission to reject."""
+            if self._tick():
+                return f"{INJECTED_MARK}: tenant-flood"
+            return real(fabric, tenant, shard)
+
+        RewriteFabric._admit_tenant = faulty_admit
+
+        def restore():
+            RewriteFabric._admit_tenant = real
 
         return restore
 

@@ -180,6 +180,114 @@ def test_save_is_atomic_no_tmp_left_behind(tmp_path):
     assert path.read_text().splitlines()[0] == SNAPSHOT_MAGIC
 
 
+# ------------------------------------------------- epoch forward-ratchet
+def _service_ratchet_scenario(tmp_path, mode):
+    """Restore a newer snapshot, then an older one, through the service
+    path: the older restore must be rejected per entry (``snapshot-stale``,
+    never a crash) and must not disturb the already-restored state."""
+    from repro.service import RewriteService
+
+    writer = RewriteService(_machine())
+    writer.request(_conf(), "poly", 0, 3)
+    writer.drain()
+    old_path = tmp_path / "old.snap"
+    writer.save_snapshot(old_path)
+    # live invalidations advance the epoch; later snapshots embed it
+    writer.manager.epoch = 7
+    writer.request(_conf(), "mix", 0, 5)
+    writer.drain()
+    new_path = tmp_path / "new.snap"
+    writer.save_snapshot(new_path)
+    writer.close()
+
+    machine = _machine()
+    svc = RewriteService(machine, mode=mode)
+    try:
+        newer = svc.restore_snapshot(new_path)
+        assert newer.version_ok and len(newer.restored_ok) == 2
+        assert svc.manager.epoch == 7
+        published_before = len(svc.table)
+        assert published_before == 2
+
+        older = svc.restore_snapshot(old_path)
+        assert older.version_ok, "a stale snapshot is not a format error"
+        assert older.restored == 0
+        assert len(older.rejected) == 1
+        assert all(f.reason == "snapshot-stale" for f in older.rejected)
+        assert svc.manager.epoch == 7, "the epoch never moves backwards"
+        assert len(svc.table) == published_before, "live state undisturbed"
+        # the service still works end to end after the rejected restore
+        entry = svc.request(_conf(), "poly", 0, 3)
+        assert machine.call(entry, 5, 3).int_return == 5 * 3 + 3
+    finally:
+        svc.close()
+
+
+def test_older_snapshot_after_newer_is_rejected_step_mode(tmp_path):
+    _service_ratchet_scenario(tmp_path, "step")
+
+
+def test_older_snapshot_after_newer_is_rejected_thread_mode(tmp_path):
+    _service_ratchet_scenario(tmp_path, "thread")
+
+
+def test_stale_rejection_is_per_entry_not_a_crash(tmp_path):
+    """Every entry record of a stale snapshot is individually rejected
+    with ``snapshot-stale``; the report is complete, nothing raises."""
+    saved = _warm_manager(_machine())
+    path = save_manager(saved, tmp_path / "spec.snap")
+
+    metrics = Metrics()
+    manager = SpecializationManager(_machine(), metrics=metrics)
+    manager.epoch = 3  # ahead of the snapshot's epoch 0
+    report = load_manager(manager, path)
+    assert report.version_ok
+    assert report.restored == 0
+    assert len(report.rejected) == 3, "one rejection per entry record"
+    assert {f.reason for f in report.rejected} == {"snapshot-stale"}
+    assert metrics.value("snapshot.rejected") == 3
+    assert manager.epoch == 3
+
+
+# --------------------------------------------------------- collision guard
+def test_restore_onto_different_live_code_is_rejected(tmp_path):
+    """A snapshot whose recorded body address now holds *different* live
+    code (a foreign shard's snapshot restored into a machine that did
+    its own rewrites) is rejected per entry as ``snapshot-collision`` —
+    overwriting a live variant would corrupt answers silently."""
+    saver = SpecializationManager(_machine())
+    assert saver.get(_conf(), "poly", 0, 3).ok
+    path = save_manager(saver, tmp_path / "foreign.snap")
+
+    machine = _machine()
+    manager = SpecializationManager(machine)
+    # the deterministic allocator puts this machine's own first rewrite
+    # at the same address the snapshot recorded — with different bytes
+    own = manager.get(_conf(), "poly", 0, 4)
+    assert own.ok
+    report = load_manager(manager, path)
+    assert len(report.rejected) == 1
+    assert report.rejected[0].reason == "snapshot-collision"
+    assert report.restored == 0
+    # the live variant is untouched and still correct
+    assert machine.call(own.entry, 5, 4).int_return == 5 * 4 + 4
+
+
+def test_byte_identical_overlap_restores_idempotently(tmp_path):
+    """Byte-identical overlap is NOT a collision: re-restoring the same
+    snapshot (or two shards' identical deterministic rewrites) is fine."""
+    saver = SpecializationManager(_machine())
+    assert saver.get(_conf(), "poly", 0, 3).ok
+    path = save_manager(saver, tmp_path / "spec.snap")
+
+    machine = _machine()
+    manager = SpecializationManager(machine)
+    assert manager.get(_conf(), "poly", 0, 3).ok  # identical bytes land first
+    report = load_manager(manager, path)
+    assert not report.rejected
+    assert len(report.restored_ok) == 1
+
+
 def test_schema_mismatch_record_is_rejected(tmp_path):
     """A structurally valid line (good CRC, good JSON) whose record is
     missing fields must be rejected as snapshot-corrupt, not crash."""

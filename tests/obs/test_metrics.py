@@ -73,6 +73,87 @@ def test_snapshot_is_deterministic_across_charge_orders():
     assert m1.snapshot_json() == m2.snapshot_json()
 
 
+# -------------------------------------------------------- registry merge
+def test_merge_sums_counters_and_returns_self():
+    a, b = Metrics(), Metrics()
+    a.inc("hits", 3)
+    b.inc("hits", 4)
+    b.inc("only.b", 1)
+    merged = a.merge(b)
+    assert merged is a
+    assert a.value("hits") == 7
+    assert a.value("only.b") == 1
+    assert b.value("hits") == 4, "the source registry is untouched"
+
+
+def test_merge_gauges_take_the_last_writers_level():
+    a, b = Metrics(), Metrics()
+    a.set("depth", 9)
+    b.set("depth", 2)
+    a.merge(b)
+    assert a.value("depth") == 2
+    # gauge-ness is sticky in either direction: a counter merged onto a
+    # gauge (or vice versa) keeps level semantics, never sums
+    c, d = Metrics(), Metrics()
+    c.set("mixed", 5)
+    d.inc("mixed", 3)
+    c.merge(d)
+    assert c.value("mixed") == 3
+    e, f = Metrics(), Metrics()
+    e.inc("mixed2", 5)
+    f.set("mixed2", 3)
+    e.merge(f)
+    assert e.value("mixed2") == 3
+
+
+def test_merge_histograms_equals_single_stream():
+    """Bucket-wise histogram merge is exact: merging per-shard
+    histograms equals one histogram fed both recording streams."""
+    single, left, right = Metrics(), Metrics(), Metrics()
+    stream_a = [0, 1, 5, 640, 7, 7]
+    stream_b = [2, 5, 1024, 1]
+    for v in stream_a + stream_b:
+        single.record("lat", v)
+    for v in stream_a:
+        left.record("lat", v)
+    for v in stream_b:
+        right.record("lat", v)
+    left.merge(right)
+    assert left.histogram("lat").summary() == single.histogram("lat").summary()
+    assert left.snapshot_json() == single.snapshot_json()
+
+
+def test_merge_prefix_namespaces_every_incoming_name():
+    fabric, shard = Metrics(), Metrics()
+    fabric.inc("fabric.requests", 2)
+    shard.inc("service.warm_hits", 5)
+    shard.record("service.cycles", 100)
+    fabric.merge(shard, prefix="fabric.shard0.")
+    assert fabric.value("fabric.shard0.service.warm_hits") == 5
+    assert fabric.value("service.warm_hits") == 0
+    assert fabric.histogram("fabric.shard0.service.cycles").count == 1
+    assert fabric.value("fabric.requests") == 2, "local names untouched"
+
+
+def test_merge_in_fixed_order_is_deterministic():
+    """Merging the same shard registries in the same order twice yields
+    byte-identical snapshots (the fabric snapshot contract)."""
+    def shard_metrics(i):
+        m = Metrics()
+        m.inc("service.requests", i + 1)
+        m.set("service.queue_depth", i)
+        m.record("service.cycles", 10 * (i + 1))
+        return m
+
+    def build():
+        out = Metrics()
+        for i in range(3):
+            out.merge(shard_metrics(i), prefix=f"fabric.shard{i}.")
+        return out.snapshot_json()
+
+    assert build() == build()
+
+
 def test_merge_counters_into_accumulates():
     metrics = Metrics()
     metrics.inc("hits", 3)

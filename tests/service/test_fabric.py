@@ -1,0 +1,285 @@
+"""RewriteFabric behaviour: deterministic routing, bulkhead isolation,
+per-tenant admission and weighted-fair dequeue, heartbeat watchdog,
+crash/stall/partition failover, and the fabric fault-injection seams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brew_init_conf, brew_setpar, BREW_KNOWN
+from repro.service import (
+    RewriteFabric, SHARD_DEAD, SHARD_HEALTHY, SHARD_SUSPECT,
+)
+from repro.testing import EXPECTED_REASON, FaultInjector
+
+SOURCE = """
+noinline long poly(long x, long k) { return x * k + k; }
+noinline long mix(long x, long k) { return x * x + k; }
+"""
+
+
+def _conf():
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_KNOWN)
+    return conf
+
+
+def _keys_owned_by(fabric: RewriteFabric, index: int, count: int,
+                   fn: str = "poly", start: int = 3) -> list[int]:
+    """The first ``count`` known-arg values whose routing key lands on
+    shard ``index`` (rendezvous hashing is deterministic, so this is a
+    pure function of the fabric's seed)."""
+    ks, k = [], start
+    while len(ks) < count:
+        digest = fabric.route_digest(_conf(), fn, (0, k))
+        if fabric._owner_for(digest).index == index:
+            ks.append(k)
+        k += 1
+    return ks
+
+
+# -------------------------------------------------------------- routing
+def test_routing_is_deterministic_and_spreads_keys():
+    with RewriteFabric(SOURCE, shards=3, seed=11) as a, \
+         RewriteFabric(SOURCE, shards=3, seed=11) as b:
+        owners_a, owners_b = [], []
+        for k in range(3, 40):
+            digest = a.route_digest(_conf(), "poly", (0, k))
+            assert digest == b.route_digest(_conf(), "poly", (0, k))
+            owners_a.append(a._owner_for(digest).index)
+            owners_b.append(b._owner_for(digest).index)
+        assert owners_a == owners_b, "same seed must route identically"
+        assert len(set(owners_a)) == 3, "keys must spread across shards"
+
+
+def test_digest_ignores_unknown_args_and_keys_on_known_ones():
+    with RewriteFabric(SOURCE, shards=2, seed=1) as fabric:
+        conf = _conf()
+        # param 2 is the known one: x is irrelevant, k is the key
+        d1 = fabric.route_digest(conf, "poly", (0, 3))
+        d2 = fabric.route_digest(conf, "poly", (999, 3))
+        d3 = fabric.route_digest(conf, "poly", (0, 4))
+        assert d1 == d2 and d1 != d3
+
+
+# ------------------------------------------------------ request lifecycle
+def test_cold_then_warm_and_both_paths_execute_correctly():
+    with RewriteFabric(SOURCE, shards=3, seed=5) as fabric:
+        cold = fabric.call("alice", _conf(), "poly", 5, 3)
+        assert cold.outcome == "cold" and cold.entry == cold.original
+        assert cold.run.int_return == 5 * 3 + 3
+        fabric.pump()
+        warm = fabric.call("alice", _conf(), "poly", 7, 3)
+        assert warm.outcome == "warm" and warm.entry != warm.original
+        assert warm.run.int_return == 7 * 3 + 3
+        assert warm.shard == cold.shard, "the key's owner must not move"
+        assert fabric.metrics.value("fabric.published") == 1
+
+
+def test_duplicate_requests_coalesce_at_the_fabric_queue():
+    with RewriteFabric(SOURCE, shards=2, seed=5) as fabric:
+        first = fabric.request("alice", _conf(), "poly", 0, 3)
+        second = fabric.request("bob", _conf(), "poly", 9, 3)
+        assert first.outcome == "cold"
+        assert second.outcome == "coalesced"
+        assert fabric.shards[first.shard].queue_depth() == 1
+
+
+def test_bulkheads_share_nothing():
+    with RewriteFabric(SOURCE, shards=3, seed=5) as fabric:
+        route = fabric.request("alice", _conf(), "poly", 0, 3)
+        fabric.pump()
+        owner = fabric.shards[route.shard]
+        assert len(owner.service.table) == 1
+        for shard in fabric.shards:
+            if shard.index != owner.index:
+                assert len(shard.service.table) == 0
+                assert shard.manager is not owner.manager
+                assert shard.machine is not owner.machine
+                assert shard.metrics is not owner.metrics
+
+
+# ------------------------------------------------------------- admission
+def test_tenant_quota_sheds_only_the_flooder():
+    with RewriteFabric(SOURCE, shards=3, seed=7, default_quota=2) as fabric:
+        ks = _keys_owned_by(fabric, 0, 4)
+        outcomes = [
+            fabric.request("mallory", _conf(), "poly", 0, k).outcome
+            for k in ks
+        ]
+        assert outcomes == ["cold", "cold", "shed", "shed"]
+        shed = fabric.request("mallory", _conf(), "poly", 0, ks[3])
+        assert shed.reason == "tenant-quota-exceeded"
+        assert shed.entry == shed.original, "a shed caller keeps the original"
+        # another tenant still gets a queue slot on the same shard
+        alice_k = _keys_owned_by(fabric, 0, 5)[4]
+        assert fabric.request("alice", _conf(), "poly", 0, alice_k).outcome == "cold"
+        assert fabric.metrics.value("fabric.tenant.mallory.shed") == 3
+        assert fabric.metrics.value("fabric.tenant.alice.shed") == 0
+
+
+def test_weighted_fair_dequeue_respects_weights():
+    with RewriteFabric(
+        SOURCE, shards=2, seed=3, default_quota=8,
+        weights={"heavy": 3}, work_per_tick=4,
+    ) as fabric:
+        heavy_ks = _keys_owned_by(fabric, 0, 3, fn="poly")
+        light_ks = _keys_owned_by(fabric, 0, 3, fn="mix")
+        for k in heavy_ks:
+            fabric.request("heavy", _conf(), "poly", 0, k)
+        for k in light_ks:
+            fabric.request("light", _conf(), "mix", 0, k)
+        shard = fabric.shards[0]
+        assert shard.queue_depth("heavy") == 3 and shard.queue_depth("light") == 3
+        fabric.pump()
+        # budget 4, rotation starts at "heavy" on the first tick:
+        # heavy takes its weight (3), light takes 1
+        assert shard.queue_depth("heavy") == 0
+        assert shard.queue_depth("light") == 2
+
+
+# ---------------------------------------------------------------- health
+def test_stall_walks_suspect_then_dead_with_degraded_requests():
+    with RewriteFabric(
+        SOURCE, shards=3, seed=9, suspect_after=2.0, dead_after=4.0,
+    ) as fabric:
+        k = _keys_owned_by(fabric, 1, 1)[0]
+        fabric.pump()  # everyone beats once
+        fabric.stall_shard(1)
+        fabric.pump(2)
+        assert fabric.shards[1].state == SHARD_SUSPECT
+        route = fabric.call("alice", _conf(), "poly", 5, k)
+        assert route.outcome == "degraded" and route.reason == "shard-stalled"
+        assert route.run.int_return == 5 * k + k, "degraded is still correct"
+        fabric.pump(2)
+        assert fabric.shards[1].state == SHARD_DEAD
+        assert fabric.failover_log[-1][0] == 1
+        # the dead shard's keys re-route to a live successor
+        after = fabric.request("alice", _conf(), "poly", 0, k)
+        assert after.shard != 1 and after.outcome in ("cold", "warm")
+
+
+def test_stalled_shard_that_resumes_beating_recovers():
+    with RewriteFabric(
+        SOURCE, shards=2, seed=9, suspect_after=2.0, dead_after=6.0,
+    ) as fabric:
+        fabric.pump()
+        fabric.stall_shard(0)
+        fabric.pump(2)
+        assert fabric.shards[0].state == SHARD_SUSPECT
+        fabric.unstall_shard(0)
+        fabric.pump()
+        assert fabric.shards[0].state == SHARD_HEALTHY
+        assert fabric.metrics.value("fabric.recovered") == 1
+
+
+def test_crash_failover_warm_starts_the_successor(tmp_path):
+    with RewriteFabric(
+        SOURCE, shards=3, seed=5, snapshot_dir=tmp_path,
+        checkpoint_interval=1,
+    ) as fabric:
+        k = _keys_owned_by(fabric, 2, 1)[0]
+        fabric.request("alice", _conf(), "poly", 0, k)
+        fabric.pump()  # performs the rewrite and checkpoints every shard
+        fabric.crash_shard(2)
+        assert fabric.shards[2].state == SHARD_DEAD
+        assert fabric.live_shards() == [0, 1]
+        assert fabric.failover_log == [(2, "crash: operator kill", "shard-dead")]
+        assert fabric.metrics.value("fabric.warm_starts") == 1
+        assert fabric.metrics.value("fabric.warm_start_restored") >= 1
+        # the key is served by a live shard, still correctly
+        route = fabric.call("alice", _conf(), "poly", 6, k)
+        assert route.shard != 2 and route.outcome in ("warm", "cold")
+        assert route.run.int_return == 6 * k + k
+
+
+def test_all_shards_dead_is_an_outage_not_an_exception():
+    with RewriteFabric(SOURCE, shards=2, seed=5) as fabric:
+        fabric.crash_shard(0)
+        fabric.crash_shard(1)
+        route = fabric.call("alice", _conf(), "poly", 4, 3)
+        assert route.outcome == "degraded" and route.reason == "shard-dead"
+        assert route.shard == -1
+        assert route.run.int_return == 4 * 3 + 3
+
+
+def test_partition_degrades_then_heals_through_the_breaker():
+    with RewriteFabric(SOURCE, shards=2, seed=5) as fabric:
+        k = _keys_owned_by(fabric, 1, 1)[0]
+        fabric.partition_shard(1, attempts=64)
+        route = fabric.request("alice", _conf(), "poly", 0, k)
+        assert route.outcome == "degraded" and route.reason == "link-partition"
+        assert fabric.metrics.value("fabric.link_failures") == 1
+        fabric.heal_shard(1)
+        fabric.pump(3)  # epochs pass; the breaker half-opens
+        healed = fabric.request("alice", _conf(), "poly", 0, k)
+        assert healed.outcome == "cold"
+
+
+# ------------------------------------------------------- injection seams
+def test_injected_shard_crash_is_contained_and_fails_over():
+    with RewriteFabric(SOURCE, shards=3, seed=7) as fabric:
+        route = fabric.request("alice", _conf(), "poly", 0, 3)
+        with FaultInjector("shard-crash", nth=1) as fault:
+            fabric.pump()
+        assert fault.fired
+        assert fabric.shards[route.shard].state == SHARD_DEAD
+        assert fabric.failover_log[-1][2] == EXPECTED_REASON["shard-crash"]
+        assert fabric.metrics.value("fabric.crashes") == 1
+        # the crash never escaped and the key is servable elsewhere
+        after = fabric.call("alice", _conf(), "poly", 5, 3)
+        assert after.run.int_return == 5 * 3 + 3
+
+
+def test_injected_shard_stall_surfaces_the_documented_reason():
+    with RewriteFabric(
+        SOURCE, shards=2, seed=7, suspect_after=2.0, dead_after=9.0,
+    ) as fabric:
+        k = _keys_owned_by(fabric, 0, 1)[0]
+        with FaultInjector("shard-stall", nth=1) as fault:
+            fabric.pump(3)  # shard 0's first beat is swallowed, latched
+            assert fault.fired
+            assert fabric.shards[0].state == SHARD_SUSPECT
+            route = fabric.request("alice", _conf(), "poly", 0, k)
+        assert route.outcome == "degraded"
+        assert route.reason == EXPECTED_REASON["shard-stall"]
+
+
+def test_injected_tenant_flood_sheds_with_the_documented_reason():
+    with RewriteFabric(SOURCE, shards=2, seed=7) as fabric:
+        with FaultInjector("tenant-flood", nth=1) as fault:
+            route = fabric.request("alice", _conf(), "poly", 0, 3)
+        assert fault.fired
+        assert route.outcome == "shed"
+        assert route.reason == EXPECTED_REASON["tenant-flood"]
+        # the seam is gone and quota state was untouched: re-request queues
+        assert fabric.request("alice", _conf(), "poly", 0, 3).outcome == "cold"
+
+
+# --------------------------------------------------------- observability
+def test_metrics_snapshot_namespaces_each_shard_deterministically():
+    with RewriteFabric(SOURCE, shards=2, seed=5) as fabric:
+        for k in range(3, 11):  # enough keys that both shards see work
+            fabric.request("alice", _conf(), "poly", 0, k)
+        fabric.pump(4)
+        snap = fabric.metrics_snapshot()
+        assert snap.value("fabric.requests") == 8
+        merged = snap.as_dict()["counters"]
+        assert any(n.startswith("fabric.shard0.") for n in merged)
+        assert any(n.startswith("fabric.shard1.") for n in merged)
+        assert snap.snapshot_json() == fabric.metrics_snapshot().snapshot_json()
+
+
+def test_fabric_close_is_idempotent():
+    fabric = RewriteFabric(SOURCE, shards=2, seed=5)
+    fabric.request("alice", _conf(), "poly", 0, 3)
+    fabric.pump()
+    fabric.close()
+    fabric.close()
+    for shard in fabric.shards:
+        assert shard.service._closed
+
+
+def test_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        RewriteFabric(SOURCE, shards=0)

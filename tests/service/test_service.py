@@ -313,6 +313,58 @@ def test_threaded_publish_withdraw_stress_never_leaves_stale_entries(machine):
         svc.close()
 
 
+# ------------------------------------------------------ shutdown contract
+def test_close_is_idempotent_and_detaches_the_listener(machine):
+    svc = RewriteService(machine)
+    svc.request(_poly_conf(), "poly", 0, 3)
+    assert svc._on_invalidation in svc.manager._listeners
+    svc.close()
+    svc.close()  # idempotent: the second call is a no-op, not an error
+    assert svc._on_invalidation not in svc.manager._listeners
+    assert svc.pending() == 0, "close drains queued work first"
+
+
+def test_context_manager_closes_and_drains(machine):
+    original = machine.image.resolve("poly")
+    with RewriteService(machine) as svc:
+        assert svc.request(_poly_conf(), "poly", 0, 3) == original
+    assert svc._closed
+    # close() drained: the rewrite landed before shutdown
+    assert svc.stats()["publishes"] == 1
+
+
+def test_thread_mode_close_leaks_no_worker_threads(machine):
+    import threading
+
+    baseline = threading.active_count()
+    with RewriteService(machine, mode="thread", max_workers=3) as svc:
+        for k in (3, 4, 5):
+            svc.request(_poly_conf(), "poly", 0, k)
+    assert svc._executor is None, "the executor must be shut down"
+    assert threading.active_count() == baseline, "worker threads leaked"
+    assert svc.stats()["publishes"] == 3
+
+
+def test_closed_service_does_not_hear_manager_invalidations(machine):
+    """A shared manager outliving the service must not fire withdrawals
+    into the dead service's dispatch table."""
+    svc = RewriteService(machine)
+    cfg = machine.image.malloc(16)
+    machine.memory.write_u64(cfg, 2)
+    machine.memory.write_u64(cfg + 8, 10)
+    conf = brew_init_conf()
+    brew_setpar(conf, 2, BREW_PTR_TO_KNOWN)
+    svc.request(conf, "apply_cfg", 0, cfg)
+    svc.drain()
+    published = len(svc.table)
+    assert published >= 1
+    svc.close()
+    machine.memory.write_u64(cfg, 7)
+    assert svc.manager.invalidate_memory(cfg, cfg + 8) == 1
+    assert svc.stats()["withdrawn"] == 0, "a closed service hears nothing"
+    assert len(svc.table) == published
+
+
 # ------------------------------------------------------------ thread mode
 def test_thread_mode_publishes_after_drain(machine):
     svc = RewriteService(machine, mode="thread", max_workers=2)

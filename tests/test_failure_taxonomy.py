@@ -15,7 +15,7 @@ from pathlib import Path
 from repro.errors import FAILURE_REASONS
 from repro.testing import (
     ALL_FAULT_KINDS, ASSURANCE_FAULT_KINDS, EXPECTED_REASON,
-    NETWORK_FAULT_KINDS, TORTURE_FAULT_KINDS,
+    FABRIC_FAULT_KINDS, NETWORK_FAULT_KINDS, TORTURE_FAULT_KINDS,
 )
 
 REPO = Path(__file__).resolve().parent.parent
@@ -90,6 +90,18 @@ def test_assurance_fault_reasons_cover_the_assurance_namespace():
     assert injectable == {"shadow-divergence", "snapshot-corrupt", "service-shed"}
     registered = injectable & set(FAILURE_REASONS)
     assert registered == injectable
+
+
+def test_fabric_fault_reasons_cover_the_fabric_namespace():
+    """The sharded-fabric fault classes (a crashing shard, a silent
+    shard, a flooding tenant) map exactly onto the three fabric reasons,
+    each registered — a new fabric failure mode must come with both its
+    injectable fault class and its taxonomy entry."""
+    injectable = {EXPECTED_REASON[k] for k in FABRIC_FAULT_KINDS}
+    assert injectable == {
+        "shard-dead", "shard-stalled", "tenant-quota-exceeded",
+    }
+    assert injectable <= set(FAILURE_REASONS)
 
 
 def test_torture_fault_reasons_cover_the_adversarial_namespace():
