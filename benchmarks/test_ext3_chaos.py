@@ -1,0 +1,15 @@
+"""EXT-3: chaos sweep over the distributed runtime's fault classes.
+
+The benchmark's JSON record (``BENCH_ext3.json``) carries the seeded
+fault-injection outcomes: every induced interconnect fault must surface
+as a tagged failed ``TransferReport`` and every rewrite-pipeline fault
+as a tagged failed ``RewriteResult`` — never a traceback, never a wrong
+answer — plus the recovery/retry counters behind those claims.
+"""
+
+from repro.experiments.chaos_exp import ext3_chaos
+
+
+def test_ext3_chaos(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext3_chaos, rounds=1, iterations=1)
+    record_experiment(exp)

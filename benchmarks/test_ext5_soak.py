@@ -1,0 +1,15 @@
+"""EXT-5: continuous-assurance soak — shadow sampling under injected
+miscompiles, snapshot/restore recovery, admission control.
+
+The benchmark's JSON record (``BENCH_ext5.json``) carries the soak's
+detection counters (injections, divergences, escape windows), the
+restart-recovery outcome (CRC-rejected records, restored entries), and
+the overload-shedding / warm-dispatch numbers.
+"""
+
+from repro.experiments.soak_exp import ext5_soak
+
+
+def test_ext5_soak(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext5_soak, rounds=1, iterations=1)
+    record_experiment(exp)

@@ -1,0 +1,15 @@
+"""EXT-9: crash forensics — flight recorder, repro bundles, replay.
+
+The benchmark's JSON record (``BENCH_ext9.json``) carries the capture
+rates per layer (supervisor, shadow, torture, fabric), the replay
+fidelity count (every bundle must re-execute to the identical failure
+reason and bit-for-bit fingerprint), the minimizer's shrink factors,
+and the flight-recorder overhead ratio on warm dispatch (bound: 1.05).
+"""
+
+from repro.experiments.forensics_exp import ext9_forensics
+
+
+def test_ext9_forensics(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext9_forensics, rounds=1, iterations=1)
+    record_experiment(exp)

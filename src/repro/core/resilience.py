@@ -289,8 +289,13 @@ class RewriteSupervisor:
         max_output_instructions: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: Metrics | None = None,
+        forensics=None,
     ) -> None:
         self.machine = machine
+        #: Optional :class:`~repro.core.forensics.ForensicsHub`.  When
+        #: set, every ladder attempt is journaled on the ``rewrite``
+        #: channel and a terminal fallback captures a full crash bundle.
+        self.forensics = forensics
         #: Shared observability registry: every ``_stats`` bump is
         #: mirrored as a ``supervisor.*`` counter, and each successful
         #: rewrite records per-variant block counts and trace sizes.
@@ -415,13 +420,37 @@ class RewriteSupervisor:
                 )
             last = result
             attempts.append((rung_name, result.reason))
+            if self.forensics is not None:
+                self.forensics.journal("rewrite", "ladder-attempt", {
+                    "rung": rung_name, "reason": result.reason,
+                })
             if result.reason in NON_RETRYABLE_REASONS:
                 break
         self._charge("fallbacks")
         assert last is not None
-        return replace(
+        terminal = replace(
             last, ladder_rung=len(attempts) - 1, ladder_attempts=tuple(attempts)
         )
+        if self.forensics is not None:
+            self.forensics.capture_rewrite_failure(
+                self.machine, conf, fn, tuple(args), terminal,
+                settings=self.replay_settings(), metrics=self.metrics,
+            )
+        return terminal
+
+    def replay_settings(self) -> dict:
+        """The supervisor knobs a replay must reproduce, as a JSON-able
+        dict.  ``deadline_seconds`` is deliberately absent — wall-clock
+        budgets cannot replay deterministically, so replay supervisors
+        run unbounded in host time and bounded in trace/output budgets."""
+        return {
+            "validate": self.validate,
+            "validation_vectors": self.validation_vectors,
+            "validation_seed": self.validation_seed,
+            "validation_max_steps": self.validation_max_steps,
+            "max_trace_steps": self.max_trace_steps,
+            "max_output_instructions": self.max_output_instructions,
+        }
 
     def stats(self) -> dict[str, int]:
         """A copy of the health counters (see ``__init__`` for keys)."""

@@ -118,6 +118,7 @@ class ShadowSampler:
         seed: int = 0,
         max_steps: int = DEFAULT_SHADOW_MAX_STEPS,
         metrics: Metrics | None = None,
+        recorder=None,
     ) -> None:
         if interval < 1:
             raise ValueError("sampling interval is 1-based")
@@ -126,6 +127,10 @@ class ShadowSampler:
         self.seed = seed
         self.max_steps = max_steps
         self.metrics = metrics if metrics is not None else Metrics()
+        #: Optional :class:`~repro.obs.flightrec.FlightRecorder`: sampled
+        #: executions and divergences are journaled on the ``machine``
+        #: channel (matches are not — steady state stays cheap).
+        self.recorder = recorder
         self._counts: dict[tuple, int] = {}
         self._phases: dict[tuple, int] = {}
 
@@ -168,6 +173,7 @@ class ShadowSampler:
             # the original faults on these live args: nothing to judge
             # the variant against — deliver it unsupervised this time
             self.metrics.inc("shadow.unjudged")
+            self._journal("shadow-unjudged", {"entry": entry, "error": want.error})
             return ShadowOutcome(
                 run=machine.cpu.run(entry, *args, max_steps=max_steps),
                 unjudged=True,
@@ -177,10 +183,15 @@ class ShadowSampler:
         except ReproError as exc:
             _restore_snapshot(machine, snap)
             self.metrics.inc("shadow.divergences")
+            divergence = (
+                f"variant faulted on {args!r}: {type(exc).__name__}: {exc}"
+            )
+            self._journal("shadow-divergence", {
+                "entry": entry, "original": original, "mismatch": divergence,
+            })
             return ShadowOutcome(
                 run=machine.cpu.run(original, *args, max_steps=max_steps),
-                divergence=f"variant faulted on {args!r}: "
-                           f"{type(exc).__name__}: {exc}",
+                divergence=divergence,
             )
         divergence = self._compare(want, run, args)
         if divergence is None:
@@ -189,10 +200,19 @@ class ShadowSampler:
         # roll the variant's effects back and serve the caller the truth
         _restore_snapshot(machine, snap)
         self.metrics.inc("shadow.divergences")
+        self._journal("shadow-divergence", {
+            "entry": entry, "original": original, "mismatch": divergence,
+        })
         return ShadowOutcome(
             run=machine.cpu.run(original, *args, max_steps=max_steps),
             divergence=divergence,
         )
+
+    def _journal(self, event: str, payload: dict) -> None:
+        """Record one anomaly on the ``machine`` channel (no-op without
+        a recorder; matches are never journaled, only anomalies)."""
+        if self.recorder is not None and self.recorder.enabled:
+            self.recorder.record("machine", event, payload)
 
     def _compare(self, want: _Observation, run, args: tuple) -> str | None:
         """Mismatch description, or None when the variant agreed."""

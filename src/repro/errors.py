@@ -178,6 +178,14 @@ FAILURE_REASONS: dict[str, str] = {
                   "every retry attempt",
     "link-partition": "the peer is unreachable: its link is partitioned "
                       "or its circuit breaker is open",
+    # -- crash forensics (core/forensics.py bundles, testing/replay.py) ---
+    "bundle-corrupt": "a crash-forensics bundle failed its magic, CRC or "
+                      "schema check on load; diagnostics records are "
+                      "dropped per record, structural damage rejects the "
+                      "bundle (a rotten repro must never replay as truth)",
+    "replay-mismatch": "a strict deterministic replay of a crash bundle "
+                       "produced a different failure reason or replay "
+                       "fingerprint than the one recorded at capture",
     # -- catch-all for unexpected internal errors -------------------------
     "memory-fault": "a memory access inside the rewriter itself faulted",
     "internal": "an unexpected internal error was converted to a graceful "

@@ -22,6 +22,7 @@ from repro.experiments.soak_exp import ext5_soak
 from repro.experiments.jit_exp import ext6_blockjit
 from repro.experiments.fabric_exp import ext7_fabric
 from repro.experiments.torture_exp import ext8_static_vs_runtime
+from repro.experiments.forensics_exp import ext9_forensics
 from repro.experiments.ablations import (
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
@@ -32,7 +33,7 @@ ALL_EXPERIMENTS = (
     exp5_makedynamic, exp6_pgas, exp7_domainmap, exp8_value_profile,
     ext1_rdma_prefetch, ext2_distributed_stencil, ext3_chaos,
     ext4_amortization, ext5_soak, ext6_blockjit, ext7_fabric,
-    ext8_static_vs_runtime,
+    ext8_static_vs_runtime, ext9_forensics,
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
 )

@@ -19,6 +19,7 @@ is the one-line JSON form the benchmarks persist and the chaos
 experiment embeds in its table.
 """
 
+from repro.obs.flightrec import CHANNELS, FlightRecorder
 from repro.obs.metrics import Counter, CycleHistogram, Metrics
 
-__all__ = ["Counter", "CycleHistogram", "Metrics"]
+__all__ = ["CHANNELS", "Counter", "CycleHistogram", "FlightRecorder", "Metrics"]

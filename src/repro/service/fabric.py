@@ -241,6 +241,7 @@ class RewriteFabric:
         shadow_interval: int = 7,
         faults: FaultProfile | None = None,
         link_seed: int | None = None,
+        forensics=None,
     ) -> None:
         if shards < 1:
             raise ValueError("a fabric needs at least one shard")
@@ -274,10 +275,17 @@ class RewriteFabric:
             faults=faults,
             seed=seed if link_seed is None else link_seed,
         )
+        #: Optional :class:`~repro.core.forensics.ForensicsHub`: every
+        #: tick journals the heartbeat/state picture on the ``fabric``
+        #: channel and every declared death captures a crash bundle
+        #: whose evidence (moved digests, live candidates, thresholds)
+        #: replays as a pure re-execution of watchdog + rendezvous.
+        self.forensics = forensics
         #: ``(shard, cause, reason)`` rows, one per declared death.
         self.failover_log: list[tuple[int, str, str]] = []
         self._ticks = 0
         self._rr_offset = 0
+        self._closed = False
 
     # ------------------------------------------------------------ routing
     def route_digest(self, conf, fn, args: tuple) -> str:
@@ -332,6 +340,17 @@ class RewriteFabric:
         happens, the returned ``entry`` is executable and correct —
         at worst it is the original function on the owning shard's
         machine."""
+        if self._closed:
+            # a closed fabric is deaf: nothing queues, nothing pumps,
+            # callers degrade to the original (same shape as an outage)
+            failure = RewriteFailure("shard-dead", "fabric closed")
+            shard = self.shards[0]
+            original = shard.machine.image.resolve(fn)
+            self.metrics.inc("fabric.closed_requests")
+            return RouteResult(
+                tenant, -1, "degraded", original, original,
+                ROUTE_LOOKUP_CYCLES, reason=failure.reason, shard_ref=shard,
+            )
         self.metrics.inc("fabric.requests")
         self.metrics.inc(f"fabric.tenant.{tenant}.requests")
         digest = self.route_digest(conf, fn, args)
@@ -436,6 +455,8 @@ class RewriteFabric:
         pending rewrites per healthy shard **weighted-fair across
         tenants**, publish finished variants across the interconnect,
         and take periodic checkpoints."""
+        if self._closed:
+            return 0
         performed = 0
         for _ in range(rounds):
             self._ticks += 1
@@ -446,6 +467,17 @@ class RewriteFabric:
                 if shard.state != SHARD_DEAD:
                     shard.heartbeat(now)
                     self.metrics.inc("fabric.heartbeats")
+            if self.forensics is not None:
+                # the per-tick picture the death-replay state machine
+                # consumes: recorded after heartbeats, before the
+                # watchdog judges them
+                self.forensics.journal("fabric", "tick", {
+                    "tick": now,
+                    "beats": {
+                        str(s.index): s.last_beat for s in self.shards
+                    },
+                    "states": {str(s.index): s.state for s in self.shards},
+                })
             self._watchdog(now)
             for shard in self.shards:
                 if shard.state == SHARD_HEALTHY:
@@ -567,6 +599,7 @@ class RewriteFabric:
         self.failover_log.append((shard.index, cause, failure.reason))
         self.metrics.inc("fabric.deaths")
         moved = dropped = 0
+        moved_pairs: list[list] = []
         for tenant in sorted(shard.pending):
             for work in shard.pending[tenant]:
                 digest = work[0]
@@ -579,6 +612,7 @@ class RewriteFabric:
                     successor.pending.setdefault(tenant, deque()).append(work)
                     successor.queued_digests.add(digest)
                     moved += 1
+                    moved_pairs.append([digest, successor.index])
                 else:
                     dropped += 1
         shard.pending.clear()
@@ -587,6 +621,17 @@ class RewriteFabric:
             self.metrics.inc("fabric.failover_moved", moved)
         if dropped:
             self.metrics.inc("fabric.failover_dropped", dropped)
+        if self.forensics is not None:
+            self.forensics.journal("fabric", "shard-death", {
+                "shard": shard.index, "cause": cause, "moved": moved,
+                "dropped": dropped,
+            })
+            self.forensics.capture_fabric_death(
+                shard=shard.index, cause=cause, tick=self.clock.now,
+                moved=moved_pairs, live=self.live_shards(), seed=self.seed,
+                suspect_after=self.suspect_after, dead_after=self.dead_after,
+                metrics=self.metrics,
+            )
         self._warm_start_successor(shard)
         shard.close()
 
@@ -680,7 +725,17 @@ class RewriteFabric:
         }
 
     def close(self) -> None:
-        """Shut every shard down deterministically (idempotent)."""
+        """Shut every shard down deterministically and go deaf.
+
+        Idempotent (parity with ``RewriteService.close()``): the first
+        call drains nothing further — every shard's private service is
+        closed (which detaches its manager invalidation listener and
+        stops any workers) — and later calls return immediately.  After
+        close the fabric stays deaf: :meth:`request` degrades callers to
+        the original and :meth:`pump` performs no work."""
+        if self._closed:
+            return
+        self._closed = True
         for shard in self.shards:
             shard.close()
 

@@ -116,6 +116,7 @@ class RewriteService:
         max_queue_depth: int | None = None,
         retry_budget: int | None = None,
         watchdog_max_trace_steps: int | None = None,
+        forensics=None,
     ) -> None:
         if mode not in ("step", "thread"):
             raise ValueError(f"unknown service mode {mode!r}")
@@ -135,11 +136,19 @@ class RewriteService:
         #: eviction *during* a locked rewrite fires the invalidation
         #: listener, which takes this lock again on the same thread.
         self.lock = threading.RLock()
+        #: Optional :class:`~repro.core.forensics.ForensicsHub`: state
+        #: changes and anomalies (cold miss, shed, publish, failure,
+        #: divergence) are journaled on the ``service`` channel and every
+        #: shadow divergence captures a crash bundle.  Warm hits are
+        #: never journaled — the steady-state dispatch path must stay
+        #: within EXT-9's ≤ 5 % overhead bound.
+        self.forensics = forensics
         #: Online shadow sampler (None = :meth:`call` dispatches blind).
         self.shadow = (
             ShadowSampler(
                 machine, interval=shadow_interval, seed=shadow_seed,
                 metrics=metrics,
+                recorder=forensics.recorder if forensics is not None else None,
             )
             if shadow_interval is not None
             else None
@@ -189,6 +198,7 @@ class RewriteService:
             self.metrics.inc("service.warm_hits")
             return entry
         self.metrics.inc("service.cold_misses")
+        self._journal("cold-miss", {"fn": str(fn)})
         original = self.machine.image.resolve(fn)
         if key in self._inflight:
             self.metrics.inc("service.coalesced")
@@ -206,6 +216,7 @@ class RewriteService:
             failure = RewriteFailure("service-shed", shed_reason)
             self.metrics.inc("service.shed")
             self.shed_log.append((key, f"{failure.reason}: {failure}"))
+            self._journal("shed", {"fn": str(fn), "why": shed_reason})
             return original
         self._inflight.add(key)
         # the caller may keep mutating its config before the worker
@@ -248,7 +259,8 @@ class RewriteService:
                     self._admit_from_probation(key)
                 return outcome.run
             self._handle_divergence(
-                key, tuple(args), entry, original, outcome.divergence
+                key, tuple(args), entry, original, outcome.divergence,
+                conf=conf, fn=fn,
             )
         return outcome.run
 
@@ -354,6 +366,11 @@ class RewriteService:
         self.close()
 
     # ------------------------------------------------------------- internal
+    def _journal(self, event: str, payload: dict) -> None:
+        """Journal one service-channel event (no-op without forensics)."""
+        if self.forensics is not None:
+            self.forensics.journal("service", event, payload)
+
     def _admit(self, key) -> str | None:
         """Admission control: None to enqueue, else the shed reason.
 
@@ -383,7 +400,8 @@ class RewriteService:
             self.metrics.inc("shadow.probation_admits")
 
     def _handle_divergence(
-        self, key, args: tuple, entry: int, original: int, description: str
+        self, key, args: tuple, entry: int, original: int, description: str,
+        *, conf: RewriteConfig | None = None, fn=None,
     ) -> None:
         """Withdraw + quarantine + record: the shadow caught a published
         variant lying.  Quarantining the manager key evicts the cache
@@ -398,6 +416,12 @@ class RewriteService:
             description=description, known_reads=tuple(known_reads),
             failure=failure,
         ))
+        self._journal("divergence", {"fn": str(fn), "mismatch": description})
+        if self.forensics is not None:
+            self.forensics.capture_shadow_divergence(
+                self.machine, conf, fn, args, entry, original, description,
+                known_reads=tuple(known_reads), metrics=self.metrics,
+            )
         self.manager.quarantine_key(owner, failure.reason, description)
         # the eviction listener withdrew the aliases; cover the direct
         # key too in case it was published before alias tracking saw it
@@ -444,12 +468,16 @@ class RewriteService:
                 self.metrics.record(
                     "service.rewrite_cycles", modeled_rewrite_cycles(result)
                 )
+                self._journal("publish", {"fn": str(fn), "entry": result.entry})
         else:
             # graceful degradation: callers keep getting the original
             # (and re-requesting; the manager's quarantine backoff keeps
             # retry traffic bounded, the service's retry budget caps it)
             self._retry_counts[key] = self._retry_counts.get(key, 0) + 1
             self.metrics.inc("service.failures")
+            self._journal("rewrite-failed", {
+                "fn": str(fn), "reason": result.reason,
+            })
         self.metrics.set("service.queue_depth", self.pending())
 
     def _on_invalidation(self, dropped_keys: list) -> None:

@@ -1,5 +1,5 @@
 """Test-support utilities: fault injection for the rewriter pipeline
-and the simulated interconnect.
+and the simulated interconnect, plus crash-bundle replay.
 
 Nothing in this package is used by the rewriter itself; it exists so the
 test suite (and CI's fault-injection / chaos smoke jobs) can prove the
@@ -7,6 +7,10 @@ robustness contracts *mechanically*: every induced failure anywhere in
 the rewrite pipeline must surface as a tagged failed ``RewriteResult``,
 and every induced interconnect fault as a tagged failed
 ``TransferReport`` — never as a raw traceback, never as a wrong answer.
+:mod:`repro.testing.replay` closes the loop for Layer 5: every captured
+``REPRO-BUNDLE`` must re-execute to the identical failure reason and
+bit-for-bit fingerprint, and :func:`minimize_bundle` shrinks it toward
+a minimal repro.
 """
 
 from repro.testing.faultinject import (
@@ -15,16 +19,25 @@ from repro.testing.faultinject import (
     EXPECTED_REASON,
     FABRIC_FAULT_KINDS,
     FAULT_KINDS,
+    FORENSICS_FAULT_KINDS,
     NETWORK_FAULT_KINDS,
     TORTURE_FAULT_KINDS,
     FaultInjector,
     inject_fault,
     plan_faults,
 )
+from repro.testing.replay import (
+    MinimizeReport,
+    ReplayOutcome,
+    materialize_torture_bundle,
+    minimize_bundle,
+    replay_bundle,
+)
 from repro.testing.torture import (
     TORTURE_CLASSES,
     TortureImage,
     TortureReport,
+    classify_image,
     generate_images,
     run_torture,
 )
@@ -35,14 +48,21 @@ __all__ = [
     "EXPECTED_REASON",
     "FABRIC_FAULT_KINDS",
     "FAULT_KINDS",
+    "FORENSICS_FAULT_KINDS",
     "NETWORK_FAULT_KINDS",
     "TORTURE_CLASSES",
     "TORTURE_FAULT_KINDS",
     "FaultInjector",
+    "MinimizeReport",
+    "ReplayOutcome",
     "TortureImage",
     "TortureReport",
+    "classify_image",
     "generate_images",
     "inject_fault",
+    "materialize_torture_bundle",
+    "minimize_bundle",
     "plan_faults",
+    "replay_bundle",
     "run_torture",
 ]

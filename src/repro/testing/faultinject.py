@@ -130,11 +130,17 @@ TORTURE_FAULT_KINDS = (
     "segment-escape",
 )
 
+#: Crash-forensics fault classes (PR 9): a bit-rotted ``REPRO-BUNDLE``
+#: record.  Deliberately a *separate* seam from ``snapshot``: forensics
+#: imports persist's ``_encode_record`` by value, so cache-snapshot
+#: bit-rot never leaks into bundle writes and vice versa.
+FORENSICS_FAULT_KINDS = ("bundle",)
+
 #: Every injectable fault class: pipeline, interconnect, assurance,
-#: fabric, adversarial-guest.
+#: fabric, adversarial-guest, forensics.
 ALL_FAULT_KINDS = (
     FAULT_KINDS + NETWORK_FAULT_KINDS + ASSURANCE_FAULT_KINDS
-    + FABRIC_FAULT_KINDS + TORTURE_FAULT_KINDS
+    + FABRIC_FAULT_KINDS + TORTURE_FAULT_KINDS + FORENSICS_FAULT_KINDS
 )
 
 #: The documented failure reason each injected fault class must surface
@@ -160,6 +166,7 @@ EXPECTED_REASON = {
     "self-modify-mid-trace": "self-modifying-code",
     "indirect-jump-unknown": "indirect-jump",
     "segment-escape": "fetch-out-of-bounds",
+    "bundle": "bundle-corrupt",
 }
 
 #: Marker embedded in every injected exception message so tests can tell
@@ -357,6 +364,31 @@ class FaultInjector:
 
         def restore():
             persist_mod._encode_record = real
+
+        return restore
+
+    def _install_bundle(self):
+        """Patch :mod:`repro.core.forensics`'s *own* ``_encode_record``
+        binding so the Nth crash-bundle record written gets one byte
+        flipped after its CRC was computed — load must reject the
+        damage (``bundle-corrupt``): whole-bundle for structural
+        records, per-record containment for diagnostics."""
+        import repro.core.forensics as forensics_mod
+
+        real = forensics_mod._encode_record
+
+        def faulty_encode(record):
+            """Injected: bit-rot the Nth persisted bundle record."""
+            line = real(record)
+            if self._tick():
+                mid = len(line) // 2
+                line = line[:mid] + chr(ord(line[mid]) ^ 0x1) + line[mid + 1:]
+            return line
+
+        forensics_mod._encode_record = faulty_encode
+
+        def restore():
+            forensics_mod._encode_record = real
 
         return restore
 

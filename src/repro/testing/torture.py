@@ -433,6 +433,79 @@ def _make_conf(spec: TortureImage):
     return conf
 
 
+def classify_image(
+    spec: TortureImage,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    jit_parity: bool = True,
+) -> tuple[dict, dict]:
+    """Classify one torture spec against the oracle.
+
+    The per-image half of :func:`run_torture`, factored out so a crash
+    bundle's replay (:mod:`repro.testing.replay`) re-derives the exact
+    same classification from nothing but the spec.  Returns
+    ``(record, info)``: ``record`` is the report row
+    (``{"index", "kind", "classification", "reason"}``) and ``info``
+    carries the raw observations (``oracle``/``outcome`` normalized
+    tuples, ``jit_divergence`` flag) the sweep turns into counters and
+    the forensics hub turns into evidence."""
+    from repro.core.resilience import RewriteSupervisor
+
+    record = {"index": spec.index, "kind": spec.kind,
+              "classification": None, "reason": None}
+    m_oracle, entry, args = build_image(spec)
+    oracle = _run_outcome(m_oracle, entry, args, max_steps)
+    info = {"oracle": oracle, "outcome": None, "jit_divergence": False}
+
+    m_rw, entry_rw, _ = build_image(spec)
+    assert entry_rw == entry, "spec builds must be deterministic"
+    try:
+        result = RewriteSupervisor(m_rw).rewrite(
+            _make_conf(spec), entry, *args
+        )
+    except BaseException as exc:  # noqa: BLE001 — the contract line
+        record["classification"] = "escape"
+        record["reason"] = f"raised:{type(exc).__name__}"
+        return record, info
+
+    if not result.ok and result.reason not in FAILURE_REASONS:
+        record["classification"] = "escape"
+        record["reason"] = f"untagged:{result.reason}"
+        return record, info
+
+    # run what the caller would actually run (variant or fallback)
+    outcome = _run_outcome(m_rw, result.entry_or_original, args, max_steps)
+    info["outcome"] = outcome
+    matches = (
+        outcome == oracle
+        or outcome[0] == "timeout" or oracle[0] == "timeout"
+    )
+    jit_matches = True
+    if jit_parity:
+        m_jit, entry_jit, _ = build_image(spec)
+        m_jit.enable_jit()
+        jit_outcome = _run_outcome(m_jit, entry_jit, args, max_steps)
+        jit_matches = (
+            jit_outcome == oracle
+            or jit_outcome[0] == "timeout" or oracle[0] == "timeout"
+        )
+        if not jit_matches:
+            info["jit_divergence"] = True
+
+    if not (matches and jit_matches):
+        record["classification"] = "miscompile"
+        record["reason"] = (
+            result.reason if not result.ok
+            else ("jit-tier" if matches else "variant")
+        )
+    elif result.ok:
+        record["classification"] = "rewritten-verified"
+    else:
+        record["classification"] = f"graceful:{result.reason}"
+        record["reason"] = result.reason
+    return record, info
+
+
 def run_torture(
     seed: int,
     count: int = 100,
@@ -441,6 +514,7 @@ def run_torture(
     jit_parity: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     specs: list[TortureImage] | None = None,
+    forensics=None,
 ) -> TortureReport:
     """Run a seeded torture sweep and classify every image.
 
@@ -456,79 +530,49 @@ def run_torture(
       or JIT tier) — contract violation;
     * ``escape`` — an exception escaped the supervisor, or a failure
       carried an unregistered reason — contract violation.
-    """
-    from repro.core.resilience import RewriteSupervisor
 
+    With a :class:`~repro.core.forensics.ForensicsHub`, every image
+    that is *not* ``rewritten-verified`` captures a ``torture`` crash
+    bundle (graceful failures are evidence too — they regression-pin
+    the reason the ladder bottomed out on).
+    """
     if specs is None:
         specs = generate_images(seed, count)
     report = TortureReport(seed=seed)
     for spec in specs:
-        record = {"index": spec.index, "kind": spec.kind,
-                  "classification": None, "reason": None}
         report._count("torture.images")
         report._count(f"torture.class.{spec.kind}")
-
-        m_oracle, entry, args = build_image(spec)
-        oracle = _run_outcome(m_oracle, entry, args, max_steps)
+        record, info = classify_image(
+            spec, max_steps=max_steps, jit_parity=jit_parity
+        )
+        oracle = info["oracle"]
         if oracle[0] == "fault":
             report._count("torture.guest_faults")
         elif oracle[0] == "timeout":
             report._count("torture.timeouts")
-
-        m_rw, entry_rw, _ = build_image(spec)
-        assert entry_rw == entry, "spec builds must be deterministic"
-        try:
-            result = RewriteSupervisor(m_rw).rewrite(
-                _make_conf(spec), entry, *args
-            )
-        except BaseException as exc:  # noqa: BLE001 — the contract line
-            record["classification"] = "escape"
-            record["reason"] = f"raised:{type(exc).__name__}"
+        if info["jit_divergence"]:
+            report._count("torture.jit_divergence")
+        classification = record["classification"]
+        if classification == "escape":
             report._count("torture.escapes")
-            report.outcomes.append(record)
-            continue
-
-        if not result.ok and result.reason not in FAILURE_REASONS:
-            record["classification"] = "escape"
-            record["reason"] = f"untagged:{result.reason}"
-            report._count("torture.escapes")
-            report.outcomes.append(record)
-            continue
-
-        # run what the caller would actually run (variant or fallback)
-        outcome = _run_outcome(m_rw, result.entry_or_original, args, max_steps)
-        matches = (
-            outcome == oracle
-            or outcome[0] == "timeout" or oracle[0] == "timeout"
-        )
-        jit_matches = True
-        if jit_parity:
-            m_jit, entry_jit, _ = build_image(spec)
-            m_jit.enable_jit()
-            jit_outcome = _run_outcome(m_jit, entry_jit, args, max_steps)
-            jit_matches = (
-                jit_outcome == oracle
-                or jit_outcome[0] == "timeout" or oracle[0] == "timeout"
-            )
-            if not jit_matches:
-                report._count("torture.jit_divergence")
-
-        if not (matches and jit_matches):
-            record["classification"] = "miscompile"
-            record["reason"] = (
-                result.reason if not result.ok
-                else ("jit-tier" if matches else "variant")
-            )
+        elif classification == "miscompile":
             report._count("torture.miscompiles")
-        elif result.ok:
-            record["classification"] = "rewritten-verified"
+        elif classification == "rewritten-verified":
             report._count("torture.rewritten_verified")
         else:
-            record["classification"] = f"graceful:{result.reason}"
-            record["reason"] = result.reason
             report._count("torture.graceful")
-            report._count(f"torture.graceful.{result.reason}")
+            report._count(f"torture.graceful.{record['reason']}")
         report.outcomes.append(record)
+        if forensics is not None and classification != "rewritten-verified":
+            forensics.journal("rewrite", "torture-classified", {
+                "index": spec.index, "kind": spec.kind,
+                "classification": classification,
+            })
+            forensics.capture_torture(
+                spec, classification, record["reason"],
+                oracle, tuple(info["outcome"] or ()),
+                max_steps=max_steps, jit_parity=jit_parity,
+            )
 
     if metrics is not None:
         for name, value in sorted(report.counters.items()):

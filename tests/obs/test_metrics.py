@@ -161,3 +161,64 @@ def test_merge_counters_into_accumulates():
     merged = metrics.merge_counters_into(out)
     assert merged is out
     assert out == {"hits": 4, "other": 5}
+
+
+# ------------------------------------------------- merge algebra (EXT-9)
+def _counter_metrics(pairs) -> Metrics:
+    m = Metrics()
+    for name, value in pairs:
+        m.inc(name, value)
+    return m
+
+
+def test_counter_merge_is_commutative():
+    pairs_a = [("hits", 3), ("misses", 1)]
+    pairs_b = [("hits", 5), ("sheds", 2)]
+    ab = _counter_metrics(pairs_a).merge(_counter_metrics(pairs_b))
+    ba = _counter_metrics(pairs_b).merge(_counter_metrics(pairs_a))
+    assert ab.snapshot_json() == ba.snapshot_json()
+
+
+def test_counter_merge_is_associative():
+    def fresh():
+        return (_counter_metrics([("a", 1)]),
+                _counter_metrics([("a", 2), ("b", 4)]),
+                _counter_metrics([("b", 8), ("c", 16)]))
+
+    x, y, z = fresh()
+    left = x.merge(y).merge(z).snapshot_json()
+    x, y, z = fresh()
+    y.merge(z)
+    right = x.merge(y).snapshot_json()
+    assert left == right
+
+
+def test_empty_registry_is_the_merge_identity():
+    loaded = _counter_metrics([("hits", 7), ("misses", 2)])
+    loaded.record("cycles", 40)
+    before = loaded.snapshot_json()
+    assert loaded.merge(Metrics()).snapshot_json() == before
+    empty = Metrics()
+    empty.merge(loaded)
+    assert empty.snapshot_json() == before
+
+
+def test_histogram_merge_is_exact_bucket_wise_under_prefix():
+    """Merging prefixed shard histograms equals one histogram fed every
+    sample directly (value-ranged buckets, so per-bucket sums are
+    exact)."""
+    samples_a = [1, 7, 80, 2000, 80]
+    samples_b = [3, 7, 500, 2000, 1_000_000]
+    shard_a, shard_b, direct = Metrics(), Metrics(), Metrics()
+    for v in samples_a:
+        shard_a.record("service.cycles", v)
+        direct.record("fabric.all.service.cycles", v)
+    for v in samples_b:
+        shard_b.record("service.cycles", v)
+        direct.record("fabric.all.service.cycles", v)
+    fabric = Metrics()
+    fabric.merge(shard_a, prefix="fabric.all.")
+    fabric.merge(shard_b, prefix="fabric.all.")
+    assert fabric.snapshot_json() == direct.snapshot_json()
+    merged = fabric.histogram("fabric.all.service.cycles")
+    assert merged.count == len(samples_a) + len(samples_b)

@@ -283,3 +283,40 @@ def test_fabric_close_is_idempotent():
 def test_rejects_zero_shards():
     with pytest.raises(ValueError):
         RewriteFabric(SOURCE, shards=0)
+
+
+def test_closed_fabric_is_deaf_and_degrades_callers():
+    fabric = RewriteFabric(SOURCE, shards=2, seed=5)
+    fabric.request("alice", _conf(), "poly", 0, 3)
+    fabric.pump()
+    fabric.close()
+    route = fabric.request("alice", _conf(), "poly", 0, 3)
+    assert route.outcome == "degraded"
+    assert route.reason == "shard-dead"
+    assert route.entry == route.original, "at worst the original"
+    assert fabric.pump(5) == 0, "a closed fabric never ticks"
+    assert fabric.metrics.value("fabric.closed_requests") == 1
+
+
+def test_close_detaches_every_shard_listener():
+    """No leak: after close, no shard service remains registered on its
+    manager, so a manager that keeps living cannot fire into a dead
+    dispatch table."""
+    fabric = RewriteFabric(SOURCE, shards=3, seed=5)
+    fabric.request("alice", _conf(), "poly", 0, 3)
+    fabric.pump(2)
+    fabric.close()
+    for shard in fabric.shards:
+        service = shard.service
+        assert service._closed
+        assert service._on_invalidation not in service.manager._listeners
+
+
+def test_context_manager_close_parity_with_service():
+    """`with RewriteFabric(...)` closes exactly like an explicit
+    close(): idempotent, deaf afterwards, shards all shut down."""
+    with RewriteFabric(SOURCE, shards=2, seed=5) as fabric:
+        assert fabric.request("alice", _conf(), "poly", 0, 3).outcome == "cold"
+    assert all(s.service._closed for s in fabric.shards)
+    fabric.close()  # second close after __exit__ is a no-op
+    assert fabric.request("alice", _conf(), "poly", 0, 3).outcome == "degraded"
