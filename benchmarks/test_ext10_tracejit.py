@@ -1,0 +1,15 @@
+"""EXT-10: tier-2 trace JIT (hot-cycle superblocks over the block engine).
+
+The benchmark's JSON record (``BENCH_ext10.json``) carries warm wall
+clock for all three execution tiers on both workloads, the trace-tier
+speedups, the multi-version evidence from the phase-shifting PGAS
+reduction, and the ``jit.trace.*`` counters — the numbers that track
+whether the trace tier keeps paying for itself.
+"""
+
+from repro.experiments.tracejit_exp import ext10_tracejit
+
+
+def test_ext10_tracejit(benchmark, record_experiment):
+    exp = benchmark.pedantic(ext10_tracejit, rounds=1, iterations=1)
+    record_experiment(exp)

@@ -23,6 +23,7 @@ from repro.experiments.jit_exp import ext6_blockjit
 from repro.experiments.fabric_exp import ext7_fabric
 from repro.experiments.torture_exp import ext8_static_vs_runtime
 from repro.experiments.forensics_exp import ext9_forensics
+from repro.experiments.tracejit_exp import ext10_tracejit
 from repro.experiments.ablations import (
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
@@ -33,7 +34,7 @@ ALL_EXPERIMENTS = (
     exp5_makedynamic, exp6_pgas, exp7_domainmap, exp8_value_profile,
     ext1_rdma_prefetch, ext2_distributed_stencil, ext3_chaos,
     ext4_amortization, ext5_soak, ext6_blockjit, ext7_fabric,
-    ext8_static_vs_runtime, ext9_forensics,
+    ext8_static_vs_runtime, ext9_forensics, ext10_tracejit,
     abl1_variant_threshold, abl2_inlining, abl3_passes, abl4_vectorize,
     abl5_rewrite_cost,
 )

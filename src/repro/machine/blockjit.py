@@ -98,10 +98,19 @@ def _xorpd(a0: float, a1: float, b0: float, b1: float):
 
 
 class _NoSeg:
-    """TLB sentinel whose bounds check always misses."""
+    """TLB sentinel whose bounds check always misses.
+
+    The tier-2 trace preamble caches segment *fields* (base/end/data/
+    extra_cost/name/executable) into locals, so the sentinel carries
+    inert values for all of them; the failing bounds check guarantees
+    they are replaced before any access goes through."""
 
     base = 1
     end = 0
+    data = b""
+    extra_cost = 0
+    name = "?"
+    executable = False
 
 
 _NOSEG = _NoSeg()
@@ -131,7 +140,19 @@ _COND_EXPR = {
 
 class CompiledBlock:
     """One translated basic block: ``run(cpu)`` executes the whole block
-    and returns (and sets) the next pc."""
+    and returns (and sets) the next pc.
+
+    ``links`` maps successor pc → ``[successor, follow_count]``.  The
+    count is the number of times the dispatch loop took that edge via
+    the chain (the first transition installs the link and counts as a
+    cache hit instead), so the link table doubles as the edge-frequency
+    profile the tier-2 trace former reads (:mod:`.tracejit`).
+    """
+
+    #: Class-level discriminator so the dispatch loop can tell a trace
+    #: entry (:class:`repro.machine.tracejit.TraceEntry`) from a plain
+    #: block without an isinstance check.
+    is_trace = False
 
     __slots__ = ("addr", "end", "run", "n_insns", "links", "gen", "source")
 
@@ -140,7 +161,7 @@ class CompiledBlock:
         self.end = end
         self.run = run
         self.n_insns = n_insns
-        self.links: dict[int, "CompiledBlock"] = {}
+        self.links: dict[int, list] = {}
         self.gen = gen
         self.source = source
 
@@ -338,12 +359,28 @@ class _BlockCompiler:
     def _has_ender(self) -> bool:
         return self.insns[-1].info.opclass in _BLOCK_ENDERS
 
-    def _flag_liveness(self, insns) -> list[bool]:
+    @staticmethod
+    def _can_store(insn: Instruction) -> bool:
+        """Can this instruction write memory (and therefore take the
+        self-modification exit)?  Only a memory *destination* counts —
+        loads never exit, so a ``mov reg, [mem]`` must not pin flags."""
+        cls = insn.info.opclass
+        if cls is OpClass.PUSH:
+            return True
+        if cls is OpClass.CMP or cls is OpClass.FCMP:
+            return False  # memory operands are read-only comparisons
+        ops = insn.operands
+        return bool(ops) and type(ops[0]) is Mem
+
+    def _flag_liveness(self, insns, live_at_end: bool = True) -> list[bool]:
         """need[i]: must insn i's flag results land in the flags dict?
-        Live at block end (the next block may read them); dead once a
-        later insn overwrites all four before any reader."""
+        Live at block end (the next block may read them) unless the
+        caller knows better (``live_at_end`` — the trace tier passes
+        False when the first flag event past the loop seam is an
+        overwrite); dead once a later insn overwrites all four before
+        any reader."""
         need = [False] * len(insns)
-        live = True
+        live = live_at_end
         for i in range(len(insns) - 1, -1, -1):
             info = insns[i].info
             cls = info.opclass
@@ -351,9 +388,7 @@ class _BlockCompiler:
             # exits the block right after it (see _selfmod_exit) — the
             # flags state at that point becomes observable, so the
             # preceding flag-writer may not be elided.
-            if cls is OpClass.PUSH or any(
-                type(o) is Mem for o in insns[i].operands
-            ):
+            if self._can_store(insns[i]):
                 live = True
             # DIV advertises writes_flags but the machine leaves flags
             # untouched, so it must not count as an overwrite here
@@ -813,8 +848,29 @@ class BlockJIT:
             "hits": self.hits,
             "invalidations": self.invalidations,
             "chain_follows": self.chain_follows,
+            # chained executions bypass the cache-lookup hit counter, so
+            # `hits` alone wildly understates reuse (EXT-6 showed 10
+            # hits against 62k follows); `reuses` is the honest number:
+            # every block execution that did not need a fresh compile
+            "reuses": self.hits + self.chain_follows,
             "interp_fallbacks": self.interp_fallbacks,
             "cached_blocks": len(self.cache),
+            "chain_edges": sum(len(b.links) for b in self.cache.values()),
+        }
+
+    def chain_graph(self) -> dict[int, dict[int, int]]:
+        """The tier-1 chain graph: ``{block_addr: {successor_pc:
+        follow_count}}`` for every cached block with at least one link.
+
+        The counts are edge frequencies observed by the dispatch loop
+        (installs count 0; every chained follow afterwards counts 1) —
+        the profile the tier-2 trace former walks, exposed here for
+        introspection and debugging.  Invalidation clears links, so the
+        graph always describes the current generation only."""
+        return {
+            addr: {pc: ent[1] for pc, ent in blk.links.items()}
+            for addr, blk in sorted(self.cache.items())
+            if blk.links
         }
 
     # -------------------------------------------------------------- compile
@@ -926,8 +982,8 @@ class BlockJIT:
                         # refetch from the cache
                         gen = self.gen
                         break
-                    nxt = blk.links.get(pc)
-                    if nxt is None:
+                    ent = blk.links.get(pc)
+                    if ent is None:
                         if steps >= max_steps:
                             return cpu._interp_loop(max_steps, steps)
                         nxt = cache.get(pc)
@@ -935,9 +991,11 @@ class BlockJIT:
                             nxt = self._compile(pc)
                         else:
                             hits += 1
-                        blk.links[pc] = nxt
+                        blk.links[pc] = [nxt, 0]
                     else:
+                        ent[1] += 1
                         follows += 1
+                        nxt = ent[0]
                     blk = nxt
         finally:
             self.hits += hits
@@ -947,6 +1005,8 @@ class BlockJIT:
                     self.metrics.inc("jit.hits", hits)
                 if follows:
                     self.metrics.inc("jit.chain_follows", follows)
+                if hits or follows:
+                    self.metrics.inc("jit.reuses", hits + follows)
 
 
 def enable_blockjit(machine, manager=None, metrics=None) -> BlockJIT:

@@ -83,12 +83,17 @@ class CPU:
         self._icache: dict[int, tuple[Instruction, int, int]] = {}
         #: Set by a compiled block that exits early through its
         #: code-write (self-modification) path: the number of its
-        #: instructions that actually executed.  The dispatch loop
-        #: consumes it so step counts stay exact across tiers.
+        #: instructions that actually executed.  Tier-2 traces
+        #: (:mod:`repro.machine.tracejit`) set it on *every* return —
+        #: iterations times per-iteration count plus the exit prefix —
+        #: since a trace's executed length is dynamic.  The dispatch
+        #: loop consumes it so step counts stay exact across tiers.
         self._ran_partial: int | None = None
         self._seg_cache = None  # last segment hit (cheap TLB)
-        #: Tier-1 block engine (:class:`repro.machine.blockjit.BlockJIT`)
-        #: when attached; None runs the plain interpreter loop.
+        #: Execution engine when attached — tier-1
+        #: :class:`repro.machine.blockjit.BlockJIT` or the tier-2
+        #: :class:`repro.machine.tracejit.TraceJIT` subclass; None runs
+        #: the plain interpreter loop.
         self.jit = None
         image.code_listeners.append(self._on_code_write)
 

@@ -1,0 +1,1023 @@
+"""Tier-2 execution: profile-guided trace JIT over the tier-1 chain graph.
+
+Tier 1 (:mod:`repro.machine.blockjit`) removes per-instruction dispatch
+but keeps per-*block* overhead: a dict probe or chain follow, a
+generation recheck, and a full architectural-state round trip (registers
+to the ``regs`` list, flags to the ``flags`` dict) at every block
+boundary.  On a hot loop of three small blocks that boundary tax is most
+of the remaining runtime.
+
+This module adds tier 2.  The dispatch loop counts **back-edges**
+(chained transitions to a lower or equal address) as a lightweight
+profile; when a target crosses ``hot_threshold`` the trace former walks
+the tier-1 chain graph from that head, following the *hottest* observed
+successor edge of each block, until the path closes back on the head.
+The closed path — a superblock covering one iteration of the hot cycle —
+is compiled into ONE Python function with
+
+* guest registers, xmm lanes, and condition flags allocated to Python
+  **locals** for the whole trace body (loaded once on entry, written
+  back only on exit),
+* an internal iteration loop, so one call executes up to
+  ``budget // n_insns`` guest iterations with zero dispatch between them,
+* flag-liveness elision across block seams, and CMP/TEST results kept
+  **deferred** (the operands, not the four flags) so loop-exit guards
+  compare values directly,
+* segment-TLB fields cached in locals (base/end/data/surcharge), so the
+  per-access fast path is two integer compares against locals,
+* **guarded side exits**: every on-trace conditional branch checks the
+  observed direction and, on disagreement, writes back all live state,
+  charges the *exact* interpreter-equivalent perf counters for the
+  executed prefix (``iterations * per_iteration + prefix`` for
+  instructions, cycles, loads, stores, branches, taken branches), sets
+  ``cpu._ran_partial``, and returns to tier 1 at the off-trace pc,
+* self-modification exits after every store that hits executable bytes,
+  with the same exact accounting (the ``cw_`` contract of tier 1).
+
+Multi-version traces: each head keeps up to ``max_versions`` compiled
+traces keyed by the **branch-direction signature** (the tuple of
+taken/not-taken decisions along the path).  When the profile shifts, the
+installed trace starts exiting early; the dispatch loop notices (exit
+count high, iterations-per-exit low), deactivates it, re-profiles, and
+installs — or reuses — the version matching the new signature.
+
+Invalidation: trace entries live in the tier-1 code cache, so every
+existing invalidation path (``Image.notify_code_write`` →
+``invalidate_range``, icache flushes, manager withdrawals) severs them
+exactly like blocks; stored versions are dropped precisely by the spans
+of code they compiled.  A store from *inside* a running trace into its
+own bytes takes the next ``cw_`` exit (the already-running Python frame
+is unaffected by the cache drop), so mid-trace self-modification
+re-enters tier 1 — and then tier 0 semantics — at the next instruction
+boundary.
+
+Divergence note (same as tier 1): a *fault* raised mid-trace surfaces as
+the same exception type, but register/flag/counter state at the fault
+point may differ because locals have not been written back; all success
+paths, side exits included, are bit-for-bit exact.  ``max_steps``
+exhaustion is exact: the iteration cap guarantees a trace call never
+oversteps its budget, and the loop hands the tail to the interpreter.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.flags import Cond
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.operands import Mem
+from repro.machine.blockjit import (
+    _BLOCK_ENDERS,
+    _COND_EXPR,
+    _BlockCompiler,
+    _Unsupported,
+    BlockJIT,
+)
+from repro.machine.cpu import CPU
+from repro.machine.image import LAYOUT
+
+#: Back-edge executions of one target pc before trace formation runs.
+HOT_THRESHOLD = 24
+#: Minimum observed follow count for every edge on the trace path.
+MIN_EDGE = 4
+#: Formation caps: blocks / instructions per trace.
+MAX_TRACE_BLOCKS = 16
+MAX_TRACE_INSNS = 384
+#: Compiled versions kept per head address.
+MAX_VERSIONS = 4
+#: Deactivation: after at least this many side exits since install, ...
+DEACT_MIN_EXITS = 8
+#: ... deactivate when iterations-per-exit has fallen below this.
+DEACT_ITERS_PER_EXIT = 2
+
+#: Loop-exit guard expressions under a *deferred* CMP (``_ga - _gb``):
+#: each condition over the four flags, rewritten as a direct comparison
+#: of the saved operands (the standard x86 identities, e.g.
+#: ``SF != OF  ⇔  signed(a) < signed(b)`` after a subtraction).
+_CMP_DIRECT = {
+    Cond.E: "_ga == _gb",
+    Cond.NE: "_ga != _gb",
+    # Signed comparisons via the sign-bit flip: xoring both sides with
+    # 2**63 maps signed order onto unsigned order, no calls.
+    Cond.L: "(_ga ^ SB) < (_gb ^ SB)",
+    Cond.GE: "(_ga ^ SB) >= (_gb ^ SB)",
+    Cond.LE: "(_ga ^ SB) <= (_gb ^ SB)",
+    Cond.G: "(_ga ^ SB) > (_gb ^ SB)",
+    Cond.B: "_ga < _gb",
+    Cond.AE: "_ga >= _gb",
+    Cond.BE: "_ga <= _gb",
+    Cond.A: "_ga > _gb",
+    Cond.S: "((_ga - _gb) & M) >= SB",
+    Cond.NS: "((_ga - _gb) & M) < SB",
+}
+
+#: Same for a deferred TEST (``_ga & _gb``): CF = OF = False, so the
+#: signed conditions collapse onto SF and ZF of the AND result.
+_TEST_DIRECT = {
+    Cond.E: "(_ga & _gb) == 0",
+    Cond.NE: "(_ga & _gb) != 0",
+    Cond.L: "(_ga & _gb) >= SB",
+    Cond.GE: "(_ga & _gb) < SB",
+    Cond.LE: "((_ga & _gb) == 0 or (_ga & _gb) >= SB)",
+    Cond.G: "((_ga & _gb) != 0 and (_ga & _gb) < SB)",
+    Cond.B: "False",
+    Cond.AE: "True",
+    Cond.BE: "(_ga & _gb) == 0",
+    Cond.A: "(_ga & _gb) != 0",
+}
+
+_RE_REG = re.compile(r"regs\[(\d+)\]")
+_RE_LANE = re.compile(r"xmm\[(\d+)\]\[([01])\]")
+_RE_ZERO_CHARGE = re.compile(r"perf\.\w+ \+= (?:it_|mx_)\*0( \+ 0)?$")
+
+#: ``ts(x)`` calls on a simple operand are inlined arithmetically:
+#: ``x - ((x & SB) << 1)`` is the signed view with zero call overhead
+#: (``(x & SB) << 1`` is exactly ``2**64`` when the sign bit is set).
+_RE_TS = re.compile(r"ts\((\w+)\)")
+
+#: ``IDIV`` on the hot path, inlined arithmetically (a division-heavy
+#: loop otherwise pays a helper call plus three conversion calls per
+#: iteration).  Matches the localized two-target form the block
+#: compiler emits; the divide-by-zero fault path falls back to the
+#: helper so the guest-visible ``CpuError`` is identical.
+_RE_IDIV = re.compile(r"^(\s*)(\w+), (\w+) = IDIV\((\w+), (.+)\)$", re.M)
+
+
+def _inline_idiv(match: re.Match) -> str:
+    """C-truncation signed division as pure arithmetic.  With the
+    floor-division sign trick ``-(-a // b)`` the truncated quotient
+    needs no abs() calls, and the remainder follows exactly as the
+    interpreter computes it (``rem = sa - quot*sb``).  The zero
+    divisor falls into an ``IDIV`` call that raises the helper's
+    exact ``CpuError`` before its ``[0]`` subscript evaluates.
+    Emitted as ONE line: render_trace indents by precomputed line
+    index, so the expansion must not shift line counts."""
+    ind, quo, rem, a, b = match.groups()
+    return (
+        f"{ind}_dv = {b}; "
+        f"_da = {a} - (({a} & SB) << 1); "
+        f"_db = _dv - ((_dv & SB) << 1); "
+        f"_dq = (-(-_da // _db) if (_da < 0) != (_db < 0)"
+        f" else _da // _db) if _db else IDIV({a}, 0)[0]; "
+        f"{quo} = _dq & M; "
+        f"{rem} = (_da - _dq * _db) & M"
+    )
+
+#: Globals the trace body references per iteration, hoisted into
+#: function locals (LOAD_FAST) by the render pass when present.
+_HOT_GLOBALS = (
+    ("UQF", "uqf_"), ("UDF", "udf_"), ("PQI", "pqi_"), ("PDI", "pdi_"),
+    ("XPD", "xpd_"), ("IDIV", "idiv_"), ("sqrt", "sqrt_"),
+    ("ts", "ts_"), ("M", "M_"), ("SB", "SB_"),
+    ("NAN", "NAN_"), ("INF", "INF_"),
+)
+
+
+_RE_TMP_DEF = re.compile(r"^(\s*)(_t\d+) = (.+)$")
+_RE_LOCAL_COPY = re.compile(r"^(\s*)(\w+) = (\w+)$")
+
+
+def _peephole(src: str) -> str:
+    """Two safe line-level rewrites on the rendered trace:
+
+    * **copy propagation** — ``_tN = expr`` immediately followed by
+      ``var = _tN``, where ``_tN`` occurs nowhere else, folds to
+      ``var = expr`` (the loaded-value temp of every memory access);
+    * **redundant copy-back** — ``a = b`` immediately followed by
+      ``b = a`` drops the second line (guest MOV ping-pong between
+      two state locals is a no-op on the Python locals).
+    """
+    lines = src.split("\n")
+    out = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        nxt = lines[i + 1] if i + 1 < len(lines) else None
+        m = _RE_TMP_DEF.match(line)
+        if m and nxt is not None:
+            ind, tmp, expr = m.groups()
+            m2 = re.match(rf"^{re.escape(ind)}(\w+) = {tmp}$", nxt)
+            if m2 and len(re.findall(rf"\b{tmp}\b", src)) == 2:
+                out.append(f"{ind}{m2.group(1)} = {expr}")
+                i += 2
+                continue
+        m = _RE_LOCAL_COPY.match(line)
+        if (m and nxt == f"{m.group(1)}{m.group(3)} = {m.group(2)}"
+                and m.group(2) != m.group(3)):
+            out.append(line)
+            i += 2
+            continue
+        out.append(line)
+        i += 1
+    return "\n".join(out)
+
+
+class TraceVersion:
+    """One compiled trace for (head, signature): the function, its spans
+    of compiled code bytes, and its lifetime execution counts."""
+
+    __slots__ = ("head", "sig", "run", "n_insns", "n_blocks", "spans",
+                 "source", "counts")
+
+    def __init__(self, head, sig, run, n_insns, n_blocks, spans, source,
+                 counts):
+        self.head = head
+        self.sig = sig
+        self.run = run
+        #: Guest instructions per trace iteration.
+        self.n_insns = n_insns
+        self.n_blocks = n_blocks
+        #: ``[(start, end), ...]`` byte ranges of every constituent
+        #: block — traces span non-contiguous code, so invalidation
+        #: checks each span, not one interval.
+        self.spans = spans
+        self.source = source
+        #: ``[entries, side_exits, iterations]`` — incremented by the
+        #: generated code itself (bound as the ``VC`` global).
+        self.counts = counts
+
+
+class TraceEntry:
+    """A trace installed in the tier-1 code cache at its head address.
+
+    Quacks like a :class:`CompiledBlock` (addr/end/links/n_insns) so the
+    cache, chain links, and range invalidation treat it uniformly;
+    ``is_trace`` tells the dispatch loop to call ``run(cpu, budget)``.
+    """
+
+    is_trace = True
+
+    __slots__ = ("addr", "end", "run", "n_insns", "links", "gen",
+                 "source", "version", "spans", "lowrun")
+
+    def __init__(self, version: TraceVersion, gen: int):
+        self.addr = version.head
+        self.end = max(e for _, e in version.spans)
+        self.run = version.run
+        self.n_insns = version.n_insns
+        self.links: dict[int, list] = {}
+        self.gen = gen
+        self.source = version.source
+        self.version = version
+        self.spans = version.spans
+        #: Consecutive low-yield side exits (a sliding signal, not an
+        #: install-anchored average: a long healthy phase must not mask
+        #: a profile shift — see the deactivation check in ``loop``).
+        self.lowrun = 0
+
+
+class _TraceCompiler(_BlockCompiler):
+    """Compiles a closed path of decoded blocks into one trace function.
+
+    Reuses the tier-1 per-instruction translators verbatim, then runs a
+    post-pass over the emitted body that rewrites ``regs[i]`` /
+    ``xmm[i][lane]`` / ``flags[F]`` subscripts into plain Python locals;
+    exit paths are emitted against distinct aliases (``rg_``, ``xm_``,
+    ``fd_``) so the writebacks escape the rewrite.
+    """
+
+    def __init__(self, path, costs):
+        # path: [(addr, insns, end, direction_or_None), ...]
+        all_insns = [i for _, insns, _, _ in path for i in insns]
+        super().__init__(all_insns, path[0][0], costs)
+        self.path = path
+        self.head = path[0][0]
+        #: Deferred flag state: None (flag locals are current), or
+        #: "cmp"/"test" (arch flags are a function of ``_ga``/``_gb``).
+        self._defer = None
+        self._br = 0   # branches so far this iteration (prefix)
+        self._tk = 0   # taken branches so far this iteration
+        self._cyc = 0  # cycles so far this iteration
+        #: Per-site TLB slots: every static access site caches its own
+        #: segment in its own locals (site ``j``: ``sb{j}_`` base,
+        #: ``sm{j}_`` last valid address, ``sd{j}_`` data, ``sx{j}_``
+        #: surcharge, ``sn{j}_`` name, ``sw{j}_`` executable, plus a
+        #: batched access counter ``mlc{j}_``/``msc{j}_``).  A site has
+        #: locality to one segment even when consecutive sites alternate
+        #: segments (matrix / stack / matrix), which thrashes a shared
+        #: single-entry TLB into a ``segment_for`` walk per access.
+        self._load_slots: list[int] = []
+        self._store_slots: list[int] = []
+
+    # ------------------------------------------------- memory fast path
+    def _site_refill(self, j, t):
+        """Refill site ``j``'s segment locals on a bounds miss; the
+        site's batched access counter flushes under the old name
+        first."""
+        e = self.emit
+        c, tab = (("mlc", "mloads") if j in self._load_slots
+                  else ("msc", "mstores"))
+        e(f"    if {c}{j}_: {tab}[sn{j}_] += {c}{j}_; {c}{j}_ = 0")
+        e(f"    seg_ = segfor({t}, 8); cpu._seg_cache = seg_")
+        e(f"    sb{j}_ = seg_.base; sm{j}_ = seg_.end - 8; "
+          f"sd{j}_ = seg_.data; sx{j}_ = seg_.extra_cost; "
+          f"sn{j}_ = seg_.name; sw{j}_ = seg_.executable")
+
+    def load(self, ea_expr, var, fmt="Q", count_inline=False):
+        """Inline a guest load through this site's private TLB slot."""
+        j = len(self._load_slots) + len(self._store_slots)
+        self._load_slots.append(j)
+        t = self.tmp()
+        e = self.emit
+        e(f"{t} = {ea_expr}")
+        e(f"if not sb{j}_ <= {t} <= sm{j}_:")
+        self._site_refill(j, t)
+        e(f"if sx{j}_:")
+        e(f"    perf.cycles += sx{j}_; perf.remote_cycles += sx{j}_; "
+          "perf.remote_accesses += 1")
+        e(f"mlc{j}_ += 1")
+        fn = "UQF" if fmt == "Q" else "UDF"
+        e(f"{var} = {fn}(sd{j}_, {t} - sb{j}_)[0]")
+        if count_inline:
+            e("perf.loads += 1")
+        else:
+            self.n_loads += 1
+        self.needs.update(("mem", "mloads"))
+        return t
+
+    def store(self, ea_expr, value_expr, fmt="Q", count_inline=False):
+        """Inline a guest store through this site's private TLB slot,
+        with the tier-1 ``cw_`` self-modification flag on executable
+        hits."""
+        j = len(self._load_slots) + len(self._store_slots)
+        self._store_slots.append(j)
+        t = self.tmp()
+        e = self.emit
+        e(f"{t} = {ea_expr}")
+        e(f"if not sb{j}_ <= {t} <= sm{j}_:")
+        self._site_refill(j, t)
+        e(f"if sx{j}_:")
+        e(f"    perf.cycles += sx{j}_; perf.remote_cycles += sx{j}_; "
+          "perf.remote_accesses += 1")
+        e(f"msc{j}_ += 1")
+        fn = "PQI" if fmt == "Q" else "PDI"
+        e(f"{fn}(sd{j}_, {t} - sb{j}_, {value_expr})")
+        e(f"if sw{j}_:")
+        e(f"    cpu.image.notify_code_write({t}, 8)")
+        e("    cw_ = True")
+        self._store_sites += 1
+        self.needs.add("cw")
+        if count_inline:
+            e("perf.stores += 1")
+        else:
+            self.n_stores += 1
+        self.needs.update(("mem", "mstores"))
+
+    # ------------------------------------------------------ deferred flags
+    def gen_insn(self, insn, flags_needed):
+        """Tier-1 translation plus the deferred CMP/TEST protocol:
+        comparisons keep their operands in ``_ga``/``_gb`` instead of
+        computing four flags; guards and exits consume them directly."""
+        cls = insn.info.opclass
+        if cls is OpClass.CMP and flags_needed:
+            # Keep the operands, not the flags: guards compare the
+            # values directly; any exit materializes the four flags.
+            a = self.read_int(insn.operands[0])
+            b = self.read_int(insn.operands[1])
+            self.emit(f"_ga = {a}; _gb = {b}")
+            self._defer = "test" if insn.op is Op.TEST else "cmp"
+            return
+        if cls is OpClass.SETCC and self._defer is not None:
+            self._materialize_locals()
+        super().gen_insn(insn, flags_needed)
+        if (flags_needed and insn.info.writes_flags
+                and cls is not OpClass.DIV and cls is not OpClass.CMP):
+            self._defer = None  # flag locals are current again
+
+    def _materialize_locals(self):
+        """Fold a deferred CMP/TEST into the four flag *locals*."""
+        e = self.emit
+        if self._defer == "test":
+            e("_gr = _ga & _gb")
+            e("zf_ = _gr == 0; sf_ = _gr >= SB; cf_ = False; of_ = False")
+        else:
+            e("_gr = (_ga - _gb) & M")
+            e("zf_ = _gr == 0; sf_ = _gr >= SB; cf_ = _ga < _gb; "
+              "of_ = ts(_ga) - ts(_gb) != ts(_gr)")
+        self._defer = None
+
+    def _flags_dead_at_head(self):
+        """True when nothing can observe the flag state carried across
+        the loop seam: scanning from the head, a flag *writer* comes
+        before any reader (JCC/SETCC) or exit site (a store's ``cw_``
+        exit).  Then the end-of-iteration materialization can be
+        skipped and the liveness pass may start with dead flags — exits
+        before the first writer do not exist, and everything after it
+        sees freshly-defined state."""
+        for insn in self.insns:
+            cls = insn.info.opclass
+            if cls is OpClass.SETCC or cls is OpClass.JCC:
+                return False
+            if self._can_store(insn):
+                return False
+            if insn.info.writes_flags and cls is not OpClass.DIV:
+                return True
+        return False
+
+    # ------------------------------------------------------------- exits
+    def _emit_exit(self, ind, k, target, br, tk, cyc, loads, stores,
+                   count_exit=True, itvar="it_"):
+        """Write back live state, charge exact counters for ``itvar``
+        full iterations plus the ``k``-instruction prefix, and return to
+        tier 1 at ``target``.  Per-iteration totals are unknown until
+        the walk completes, so they are emitted as ``@N@``-style tokens
+        and substituted in :meth:`render_trace`."""
+        e = self.emit
+        e(f"{ind}perf.instructions += {itvar}*@N@ + {k}")
+        e(f"{ind}perf.loads += {itvar}*@L@ + {loads}")
+        e(f"{ind}perf.stores += {itvar}*@S@ + {stores}")
+        e(f"{ind}perf.cycles += {itvar}*@C@ + {cyc}")
+        e(f"{ind}perf.branches += {itvar}*@B@ + {br}")
+        e(f"{ind}perf.taken_branches += {itvar}*@T@ + {tk}")
+        e(f"{ind}@MF@")
+        e(f"{ind}@WB@")
+        if self._defer == "test":
+            e(f"{ind}_gr = _ga & _gb")
+            e(f"{ind}fd_[ZF] = _gr == 0; fd_[SF] = _gr >= SB; "
+              "fd_[CF] = False; fd_[OF] = False")
+        elif self._defer == "cmp":
+            e(f"{ind}_gr = (_ga - _gb) & M")
+            e(f"{ind}fd_[ZF] = _gr == 0; fd_[SF] = _gr >= SB; "
+              "fd_[CF] = _ga < _gb; fd_[OF] = ts(_ga) - ts(_gb) != ts(_gr)")
+        else:
+            e(f"{ind}@FWB@")
+        if count_exit:
+            e(f"{ind}VC[1] += 1")
+        e(f"{ind}VC[2] += {itvar}")
+        e(f"{ind}cpu._ran_partial = {itvar}*@N@ + {k}")
+        e(f"{ind}cpu.pc = {target}")
+        e(f"{ind}return {target}")
+
+    def _emit_cw_exit(self, k, next_pc):
+        """Self-modification exit right after a store into executable
+        bytes, at the next instruction boundary (tier-1 ``cw_``
+        contract)."""
+        self.emit("if cw_:")
+        self._emit_exit("    ", k, next_pc, self._br, self._tk, self._cyc,
+                        self.n_loads, self.n_stores)
+
+    def _emit_guard(self, insn, direction, k, fall_pc):
+        """Guard an on-trace conditional branch; exit on disagreement."""
+        cond = insn.info.cond
+        if self._defer == "cmp":
+            expr = _CMP_DIRECT[cond]
+        elif self._defer == "test":
+            expr = _TEST_DIRECT[cond]
+        else:
+            expr = _COND_EXPR[cond]
+        taken_pc = insn.operands[0].value
+        costs = self._costs
+        if direction:
+            self.emit(f"if not ({expr}):")
+            exit_pc, exit_taken = fall_pc, False
+        else:
+            self.emit(f"if {expr}:")
+            exit_pc, exit_taken = taken_pc, True
+        self._emit_exit(
+            "    ", k, exit_pc,
+            self._br + 1, self._tk + (1 if exit_taken else 0),
+            self._cyc + costs.base_cost(insn, exit_taken),
+            self.n_loads, self.n_stores)
+        self._br += 1
+        self._tk += 1 if direction else 0
+        self._cyc += costs.base_cost(insn, direction)
+
+    # ---------------------------------------------------------- translate
+    def gen_trace(self):
+        """Emit the whole closed path — body instructions, ``cw_``
+        exits after store sites, direction guards at every on-trace
+        conditional branch — and return the rendered source."""
+        need = self._flag_liveness(self.insns)
+        costs = self._costs
+        k = 0
+        for addr, insns, end, direction in self.path:
+            last = insns[-1]
+            has_ender = last.info.opclass in _BLOCK_ENDERS
+            body = insns[:-1] if has_ender else insns
+            for insn in body:
+                sites = self._store_sites
+                self.gen_insn(insn, need[k])
+                k += 1
+                self._cyc += costs.base_cost(insn, False)
+                if self._store_sites > sites:
+                    self._emit_cw_exit(k, (insn.addr or 0) + (insn.size or 0))
+            if has_ender:
+                cls = last.info.opclass
+                k += 1
+                if cls is OpClass.JCC:
+                    self._emit_guard(last, direction, k, end)
+                elif cls is OpClass.JMP:
+                    self._br += 1
+                    self._tk += 1
+                    self._cyc += costs.base_cost(last, False)
+                else:  # pragma: no cover - formation rejects other enders
+                    raise _Unsupported(f"trace ender {cls}")
+        if not self._flags_dead_at_head():
+            if self._defer is not None:
+                self._materialize_locals()
+        # Iteration-cap exit: rendered *after* the for-loop, so it runs
+        # exactly when the trace has executed mx_ full iterations.
+        self._cap_at = len(self.lines)
+        self._emit_exit("", 0, self.head, 0, 0, 0, 0, 0,
+                        count_exit=False, itvar="mx_")
+        return self.render_trace()
+
+    # -------------------------------------------------------------- render
+    def render_trace(self):
+        """Post-process the emitted lines into the final function:
+        localize architectural state, substitute per-iteration totals,
+        inline ``ts()``, hoist hot globals, expand writeback/flush
+        placeholders, indent the iteration loop, and peephole."""
+        n = len(self.insns)
+        text = "\n".join(self.lines)
+        regs_used = sorted({int(m) for m in _RE_REG.findall(text)})
+        lanes_used = sorted(
+            {(int(a), int(b)) for a, b in _RE_LANE.findall(text)})
+        # 1) localize architectural state in the body
+        text = _RE_REG.sub(r"r\1", text)
+        text = _RE_LANE.sub(r"x\1_\2", text)
+        for f in ("ZF", "SF", "CF", "OF"):
+            text = text.replace(f"flags[{f}]", f"{f.lower()}_")
+        # 2) per-iteration totals into the exit formulas
+        for token, total in (("@N@", n), ("@L@", self.n_loads),
+                             ("@S@", self.n_stores), ("@C@", self._cyc),
+                             ("@B@", self._br), ("@T@", self._tk)):
+            text = text.replace(token, str(total))
+        # 2b) inline signed division: a division-heavy loop (PGAS owner
+        # test) otherwise pays a helper call plus three conversion
+        # calls per iteration.  Runs before the hoist pass so the raw
+        # SB/M names get aliased and the zero-divisor fallback keeps
+        # the helper's exact CpuError.
+        text = _RE_IDIV.sub(_inline_idiv, text)
+        # 3) inline ts() on simple operands (the signed view is pure
+        # arithmetic; a per-flag-write Python call is the single most
+        # expensive bytecode in a hot loop), then hoist the remaining
+        # hot globals into locals (LOAD_FAST beats LOAD_GLOBAL on every
+        # per-iteration reference)
+        text = _RE_TS.sub(r"(\1 - ((\1 & SB) << 1))", text)
+        hoists = []
+        for name, alias in _HOT_GLOBALS:
+            pat = re.compile(rf"\b{name}\b")
+            if pat.search(text):
+                text = pat.sub(alias, text)
+                hoists.append(f"    {alias} = {name}")
+        # 4) expand writeback/flush placeholders, drop zero-charge
+        # lines, and indent: lines before the cap marker form the loop
+        # body (one extra level under the for); the cap exit itself
+        # stays at function level, after the loop.
+        wb = "; ".join(
+            [f"rg_[{i}] = r{i}" for i in regs_used]
+            + [f"xm_[{a}][{b}] = x{a}_{b}" for a, b in lanes_used])
+        fwb = "fd_[ZF] = zf_; fd_[SF] = sf_; fd_[CF] = cf_; fd_[OF] = of_"
+        cap_at = self._cap_at
+        body = []
+        # Emitted lines already carry the 4-space function-body base
+        # indent; loop-body lines get one extra level under the for.
+        for idx, line in enumerate(text.split("\n")):
+            lvl = "    " if idx < cap_at else ""
+            stripped = line.strip()
+            ind = line[: len(line) - len(line.lstrip())]
+            if stripped == "@WB@":
+                if wb:
+                    body.append(lvl + ind + wb)
+            elif stripped == "@FWB@":
+                body.append(lvl + ind + fwb)
+            elif stripped == "@MF@":
+                for j in self._load_slots:
+                    body.append(
+                        lvl + ind + f"if mlc{j}_: mloads[sn{j}_] += mlc{j}_")
+                for j in self._store_slots:
+                    body.append(
+                        lvl + ind + f"if msc{j}_: mstores[sn{j}_] += msc{j}_")
+            elif _RE_ZERO_CHARGE.fullmatch(stripped):
+                continue
+            else:
+                body.append(lvl + line)
+        pre = [
+            "def _trace(cpu, budget):",
+            "    rg_ = cpu.regs",
+            "    perf = cpu.perf",
+            "    fd_ = cpu.flags",
+        ]
+        pre.extend(hoists)
+        if lanes_used:
+            pre.append("    xm_ = cpu.xmm")
+        if "mem" in self.needs:
+            pre.append("    segfor = cpu.memory.segment_for")
+            # Poisoned bounds: every site's first access misses and
+            # fills its slot; the other slot locals are defined by the
+            # refill before anything reads them.
+            for j in self._load_slots:
+                pre.append(f"    sb{j}_ = 1; sm{j}_ = 0; mlc{j}_ = 0")
+            for j in self._store_slots:
+                pre.append(f"    sb{j}_ = 1; sm{j}_ = 0; msc{j}_ = 0")
+        if "mloads" in self.needs:
+            pre.append("    mloads = cpu.memory.loads")
+        if "mstores" in self.needs:
+            pre.append("    mstores = cpu.memory.stores")
+        if "cw" in self.needs:
+            pre.append("    cw_ = False")
+        for i in regs_used:
+            pre.append(f"    r{i} = rg_[{i}]")
+        for a, b in lanes_used:
+            pre.append(f"    x{a}_{b} = xm_[{a}][{b}]")
+        pre.append("    zf_ = fd_[ZF]; sf_ = fd_[SF]; "
+                   "cf_ = fd_[CF]; of_ = fd_[OF]")
+        pre.append("    VC[0] += 1")
+        pre.append(f"    mx_ = budget // {n}")
+        pre.append("    for it_ in range(mx_):")
+        return _peephole("\n".join(pre + body) + "\n")
+
+class TraceJIT(BlockJIT):
+    """Tier-1 engine plus back-edge profiling, trace formation,
+    multi-version installation, and trace-aware dispatch.
+
+    Construction attaches to the cpu exactly like :class:`BlockJIT`
+    (it *is* one); the overridden loop adds a hot-target counter on
+    chained back-edges and dispatches installed traces with the
+    remaining step budget.
+    """
+
+    def __init__(self, cpu: CPU, metrics=None, *,
+                 hot_threshold: int = HOT_THRESHOLD,
+                 min_edge: int = MIN_EDGE,
+                 max_versions: int = MAX_VERSIONS,
+                 max_trace_blocks: int = MAX_TRACE_BLOCKS,
+                 max_trace_insns: int = MAX_TRACE_INSNS,
+                 deact_min_exits: int = DEACT_MIN_EXITS,
+                 deact_iters_per_exit: int = DEACT_ITERS_PER_EXIT) -> None:
+        super().__init__(cpu, metrics=metrics)
+        self.hot_threshold = hot_threshold
+        self.min_edge = min_edge
+        self.max_versions = max_versions
+        self.max_trace_blocks = max_trace_blocks
+        self.max_trace_insns = max_trace_insns
+        self.deact_min_exits = deact_min_exits
+        self.deact_iters_per_exit = deact_iters_per_exit
+        #: Back-edge counts per target pc (the promotion profile).
+        self._hot: dict[int, int] = {}
+        #: Heads where formation failed structurally (call/ret on the
+        #: path, unsupported shapes): no point retrying until the code
+        #: changes.  Cleared on invalidation.
+        self._no_trace: set[int] = set()
+        #: Compiled versions: head -> {signature: TraceVersion}.
+        self.versions: dict[int, dict[tuple, TraceVersion]] = {}
+        #: Currently installed entries by head address.
+        self._installed: dict[int, TraceEntry] = {}
+        #: Counts of versions no longer alive (summed into totals).
+        self._retired = [0, 0, 0]
+        self._flushed = (0, 0, 0)
+        self.trace_compiles = 0
+        self.trace_installs = 0
+        self.trace_deactivations = 0
+        self.trace_aborts = 0
+        self.trace_invalidations = 0
+
+    # ----------------------------------------------------------- formation
+    def _form_trace(self, head: int):
+        """Walk the chain graph from ``head`` along hottest edges until
+        the path closes on ``head``.  Returns ``((path, signature),
+        None)`` or ``(None, reason)`` with reason ``"structural"``
+        (never retry until invalidation) or ``"transient"`` (profile
+        not warm enough yet)."""
+        cache = self.cache
+        path, sig, seen = [], [], set()
+        addr = head
+        n_insns = 0
+        while True:
+            blk = cache.get(addr)
+            if blk is None:
+                return None, "transient"
+            if blk.is_trace or blk.source.startswith("#"):
+                return None, "structural"
+            insns, end = self._decode_block(addr)
+            if not insns:
+                return None, "structural"
+            last = insns[-1]
+            cls = last.info.opclass
+            if cls in (OpClass.CALL, OpClass.RET, OpClass.HLT):
+                return None, "structural"
+            if cls is OpClass.JMP and last.op is Op.JMPI:
+                return None, "structural"
+            if not blk.links:
+                return None, "transient"
+            succ = max(blk.links, key=lambda pc: (blk.links[pc][1], -pc))
+            if blk.links[succ][1] < self.min_edge:
+                return None, "transient"
+            direction = None
+            if cls is OpClass.JCC:
+                taken_pc = last.operands[0].value
+                if succ == taken_pc:
+                    direction = True
+                elif succ == end:
+                    direction = False
+                else:
+                    return None, "structural"
+                sig.append(direction)
+            elif cls is OpClass.JMP:
+                if succ != last.operands[0].value:
+                    return None, "structural"
+            else:  # fall-through block (MAX_BLOCK_INSNS split)
+                if succ != end:
+                    return None, "structural"
+            seen.add(addr)
+            path.append((addr, insns, end, direction))
+            n_insns += len(insns)
+            if (n_insns > self.max_trace_insns
+                    or len(path) > self.max_trace_blocks):
+                return None, "structural"
+            if succ == head:
+                return (path, tuple(sig)), None
+            if succ in seen:
+                return None, "structural"  # inner cycle not through head
+            addr = succ
+
+    def _compile_trace(self, head, path, sig):
+        try:
+            compiler = _TraceCompiler(path, self.cpu.costs)
+            source = compiler.gen_trace()
+        except _Unsupported:
+            return None
+        counts = [0, 0, 0]
+        ns = dict(self._globals)
+        ns["VC"] = counts
+        exec(compile(source, f"<trace:0x{head:x}>", "exec"), ns)
+        spans = [(addr, end) for addr, _, end, _ in path]
+        return TraceVersion(head, sig, ns["_trace"], len(compiler.insns),
+                            len(path), spans, source, counts)
+
+    def _promote(self, head: int):
+        """Form + compile + install a trace at ``head``; returns the
+        installed :class:`TraceEntry` or None."""
+        formed, why = self._form_trace(head)
+        if formed is None:
+            self.trace_aborts += 1
+            if self.metrics is not None:
+                self.metrics.inc("jit.trace.aborts")
+            if why == "structural":
+                self._no_trace.add(head)
+            return None
+        path, sig = formed
+        table = self.versions.setdefault(head, {})
+        ver = table.get(sig)
+        if ver is None:
+            if len(table) >= self.max_versions:
+                self.trace_aborts += 1
+                self._no_trace.add(head)
+                if self.metrics is not None:
+                    self.metrics.inc("jit.trace.aborts")
+                return None
+            ver = self._compile_trace(head, path, sig)
+            if ver is None:
+                self.trace_aborts += 1
+                self._no_trace.add(head)
+                if self.metrics is not None:
+                    self.metrics.inc("jit.trace.aborts")
+                return None
+            table[sig] = ver
+            self.trace_compiles += 1
+            if self.metrics is not None:
+                self.metrics.inc("jit.trace.compiles")
+        return self._install(ver)
+
+    def _install(self, ver: TraceVersion) -> TraceEntry:
+        entry = TraceEntry(ver, self.gen)
+        head = ver.head
+        self.cache[head] = entry
+        self._installed[head] = entry
+        # Sever every chain link into the head so no stale link can
+        # bypass the trace (links are keyed by destination pc, so this
+        # is one dict pop per cached block, not a full clear).
+        for blk in self.cache.values():
+            if blk is not entry and blk.links:
+                blk.links.pop(head, None)
+        self.trace_installs += 1
+        if self.metrics is not None:
+            self.metrics.inc("jit.trace.installs")
+        return entry
+
+    def _deactivate(self, entry: TraceEntry) -> None:
+        """Uninstall a side-exit-heavy trace: the profile has shifted,
+        so return the head to tier 1 and let re-profiling pick (or
+        compile) the version matching the new signature."""
+        head = entry.addr
+        if self.cache.get(head) is entry:
+            del self.cache[head]
+        self._installed.pop(head, None)
+        entry.links.clear()
+        for blk in self.cache.values():
+            if blk.links:
+                blk.links.pop(head, None)
+        self._hot[head] = 0
+        self.trace_deactivations += 1
+        if self.metrics is not None:
+            self.metrics.inc("jit.trace.deactivations")
+
+    # -------------------------------------------------------- invalidation
+    def _retire(self, ver: TraceVersion) -> None:
+        r = self._retired
+        r[0] += ver.counts[0]
+        r[1] += ver.counts[1]
+        r[2] += ver.counts[2]
+
+    def invalidate(self) -> None:
+        """Full flush: drop every trace version and profile state, then
+        the tier-1 cache."""
+        for table in self.versions.values():
+            for ver in table.values():
+                self._retire(ver)
+        if self.versions:
+            self.trace_invalidations += 1
+            if self.metrics is not None:
+                self.metrics.inc("jit.trace.invalidations")
+        self.versions.clear()
+        self._installed.clear()
+        self._hot.clear()
+        self._no_trace.clear()
+        super().invalidate()
+
+    def invalidate_range(self, start: int, end: int) -> None:
+        """Sever every trace whose compiled bytes overlap
+        ``[start, end)``, then the tier-1 blocks."""
+        # Stored versions are dropped precisely by compiled spans: a
+        # write into a gap between a trace's blocks does not stale it.
+        hit = 0
+        for head in list(self.versions):
+            table = self.versions[head]
+            for sig in list(table):
+                ver = table[sig]
+                if any(s < end and e > start for s, e in ver.spans):
+                    self._retire(ver)
+                    del table[sig]
+                    hit += 1
+            if not table:
+                del self.versions[head]
+        # Installed entries drop with the same conservative [addr, end)
+        # overlap the base cache sweep uses, keeping both views in sync.
+        for head in list(self._installed):
+            entry = self._installed[head]
+            if head < end and entry.end > start:
+                del self._installed[head]
+        if hit:
+            self.trace_invalidations += hit
+            if self.metrics is not None:
+                self.metrics.inc("jit.trace.invalidations", hit)
+        self._hot.clear()
+        self._no_trace.clear()
+        super().invalidate_range(start, end)
+
+    # --------------------------------------------------------------- stats
+    def _totals(self):
+        e, x, i = self._retired
+        for table in self.versions.values():
+            for ver in table.values():
+                e += ver.counts[0]
+                x += ver.counts[1]
+                i += ver.counts[2]
+        return e, x, i
+
+    def stats(self) -> dict:
+        """Tier-1 stats plus the ``trace_*`` counters (the ``jit.trace.*``
+        metric schema, point-in-time)."""
+        s = super().stats()
+        entries, exits, iters = self._totals()
+        s.update({
+            "trace_compiles": self.trace_compiles,
+            "trace_installs": self.trace_installs,
+            "trace_deactivations": self.trace_deactivations,
+            "trace_aborts": self.trace_aborts,
+            "trace_invalidations": self.trace_invalidations,
+            "trace_entries": entries,
+            "trace_side_exits": exits,
+            "trace_iterations": iters,
+            "trace_versions": sum(len(t) for t in self.versions.values()),
+            "installed_traces": len(self._installed),
+        })
+        return s
+
+    # ----------------------------------------------------------------- loop
+    def loop(self, max_steps: int) -> int:
+        """Tier-1 dispatch loop plus: back-edge profiling on chained
+        transitions, promotion at the hot threshold, budgeted trace
+        dispatch, and exit-rate-based deactivation."""
+        cpu = self.cpu
+        cache = self.cache
+        halt = LAYOUT.halt_addr
+        steps = 0
+        hits = follows = 0
+        hot = self._hot
+        hot_at = self.hot_threshold
+        try:
+            gen = self.gen
+            pc = cpu.pc
+            while True:
+                if pc == halt:
+                    return steps
+                if steps >= max_steps:
+                    return cpu._interp_loop(max_steps, steps)
+                blk = cache.get(pc)
+                if blk is None:
+                    blk = self._compile(pc)
+                else:
+                    hits += 1
+                while True:
+                    if steps + blk.n_insns > max_steps:
+                        return cpu._interp_loop(max_steps, steps)
+                    if blk.is_trace:
+                        # budget >= n_insns (checked above), so the
+                        # iteration cap is >= 1 and the trace can never
+                        # overstep max_steps; _ran_partial is the exact
+                        # executed instruction count.
+                        pc = blk.run(cpu, max_steps - steps)
+                        ran = cpu._ran_partial
+                        steps += ran
+                        cpu._ran_partial = None
+                        if pc != blk.addr:
+                            # Side exit.  A run of deact_min_exits
+                            # consecutive entries each yielding fewer
+                            # than deact_iters_per_exit iterations means
+                            # the profile has shifted: deactivate and
+                            # let re-profiling pick the new version.
+                            if ran < (self.deact_iters_per_exit
+                                      * blk.n_insns):
+                                blk.lowrun += 1
+                                if blk.lowrun >= self.deact_min_exits:
+                                    self._deactivate(blk)
+                            else:
+                                blk.lowrun = 0
+                    else:
+                        pc = blk.run(cpu)
+                        ran = cpu._ran_partial
+                        if ran is None:
+                            steps += blk.n_insns
+                        else:
+                            steps += ran
+                            cpu._ran_partial = None
+                    if pc == halt:
+                        return steps
+                    if self.gen != gen:
+                        gen = self.gen
+                        break
+                    ent = blk.links.get(pc)
+                    if ent is None:
+                        if steps >= max_steps:
+                            return cpu._interp_loop(max_steps, steps)
+                        nxt = cache.get(pc)
+                        if nxt is None:
+                            nxt = self._compile(pc)
+                        else:
+                            hits += 1
+                        blk.links[pc] = [nxt, 0]
+                    else:
+                        ent[1] += 1
+                        follows += 1
+                        nxt = ent[0]
+                    if pc <= blk.addr and not nxt.is_trace:
+                        n = hot.get(pc, 0) + 1
+                        if n >= hot_at:
+                            hot[pc] = 0
+                            if pc not in self._no_trace:
+                                t = self._promote(pc)
+                                if t is not None:
+                                    nxt = t
+                        else:
+                            hot[pc] = n
+                    blk = nxt
+        finally:
+            self.hits += hits
+            self.chain_follows += follows
+            if self.metrics is not None:
+                if hits:
+                    self.metrics.inc("jit.hits", hits)
+                if follows:
+                    self.metrics.inc("jit.chain_follows", follows)
+                if hits or follows:
+                    self.metrics.inc("jit.reuses", hits + follows)
+                entries, exits, iters = self._totals()
+                f = self._flushed
+                if entries - f[0]:
+                    self.metrics.inc("jit.trace.entries", entries - f[0])
+                if exits - f[1]:
+                    self.metrics.inc("jit.trace.side_exits", exits - f[1])
+                if iters - f[2]:
+                    self.metrics.inc("jit.trace.iterations", iters - f[2])
+                self._flushed = (entries, exits, iters)
+
+
+def enable_tracejit(machine, manager=None, metrics=None, **tuning) -> TraceJIT:
+    """Attach a :class:`TraceJIT` to ``machine`` (idempotent) and wire
+    it to ``manager`` invalidations when given.  ``tuning`` forwards
+    threshold overrides (``hot_threshold=4`` makes tests and torture
+    sweeps promote aggressively)."""
+    jit = machine.cpu.jit
+    if jit is None:
+        jit = TraceJIT(machine.cpu, metrics=metrics, **tuning)
+    elif not isinstance(jit, TraceJIT):
+        raise RuntimeError(
+            "a tier-1 BlockJIT is already attached; enable the trace "
+            "tier first (enable_jit(trace=True)) or use a fresh machine")
+    elif metrics is not None and jit.metrics is None:
+        jit.metrics = metrics
+    if manager is not None:
+        jit.watch_manager(manager)
+    return jit

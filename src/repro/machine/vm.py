@@ -35,12 +35,23 @@ class Machine:
 
     @property
     def jit(self):
-        """The attached tier-1 block engine, or ``None``."""
+        """The attached execution engine (tier-1 block JIT, or the
+        tier-2 trace JIT, which is one), or ``None``."""
         return self.cpu.jit
 
-    def enable_jit(self, manager=None, metrics=None):
-        """Attach the tier-1 block-compiling engine (idempotent).  See
-        :mod:`repro.machine.blockjit` for the invalidation contract."""
+    def enable_jit(self, manager=None, metrics=None, trace: bool = False,
+                   **tuning):
+        """Attach the tier-1 block-compiling engine (idempotent).  With
+        ``trace=True`` attach the tier-2 trace JIT instead — a
+        :class:`~repro.machine.tracejit.TraceJIT`, which contains tier 1
+        and adds hot-cycle superblock traces; ``tuning`` forwards its
+        threshold overrides.  See :mod:`repro.machine.blockjit` and
+        :mod:`repro.machine.tracejit` for the invalidation contract."""
+        if trace:
+            from repro.machine.tracejit import enable_tracejit
+
+            return enable_tracejit(self, manager=manager, metrics=metrics,
+                                   **tuning)
         from repro.machine.blockjit import enable_blockjit
 
         return enable_blockjit(self, manager=manager, metrics=metrics)

@@ -438,6 +438,7 @@ def classify_image(
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
     jit_parity: bool = True,
+    trace_tier: bool = False,
 ) -> tuple[dict, dict]:
     """Classify one torture spec against the oracle.
 
@@ -448,7 +449,11 @@ def classify_image(
     (``{"index", "kind", "classification", "reason"}``) and ``info``
     carries the raw observations (``oracle``/``outcome`` normalized
     tuples, ``jit_divergence`` flag) the sweep turns into counters and
-    the forensics hub turns into evidence."""
+    the forensics hub turns into evidence.
+
+    With ``trace_tier=True`` the parity lane runs the tier-2 trace JIT
+    (aggressive promotion thresholds, so even short images form
+    traces) instead of the plain block JIT."""
     from repro.core.resilience import RewriteSupervisor
 
     record = {"index": spec.index, "kind": spec.kind,
@@ -483,7 +488,10 @@ def classify_image(
     jit_matches = True
     if jit_parity:
         m_jit, entry_jit, _ = build_image(spec)
-        m_jit.enable_jit()
+        if trace_tier:
+            m_jit.enable_jit(trace=True, hot_threshold=4, min_edge=1)
+        else:
+            m_jit.enable_jit()
         jit_outcome = _run_outcome(m_jit, entry_jit, args, max_steps)
         jit_matches = (
             jit_outcome == oracle
@@ -512,6 +520,7 @@ def run_torture(
     *,
     metrics=None,
     jit_parity: bool = True,
+    trace_tier: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
     specs: list[TortureImage] | None = None,
     forensics=None,
@@ -520,7 +529,9 @@ def run_torture(
 
     Per image: the interpreted original is the oracle; the full
     supervisor pipeline rewrites on a second identical machine; the
-    block JIT runs the original on a third.  Classifications:
+    block JIT — or, with ``trace_tier=True``, the tier-2 trace JIT at
+    aggressive promotion thresholds — runs the original on a third.
+    Classifications:
 
     * ``rewritten-verified`` — rewrite succeeded and the variant's
       architectural outcome is bit-for-bit the oracle's;
@@ -543,7 +554,8 @@ def run_torture(
         report._count("torture.images")
         report._count(f"torture.class.{spec.kind}")
         record, info = classify_image(
-            spec, max_steps=max_steps, jit_parity=jit_parity
+            spec, max_steps=max_steps, jit_parity=jit_parity,
+            trace_tier=trace_tier,
         )
         oracle = info["oracle"]
         if oracle[0] == "fault":

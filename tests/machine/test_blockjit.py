@@ -277,6 +277,66 @@ def test_jit_metrics_counters_exported():
     assert metrics.value("jit.invalidations") > 0
 
 
+def test_reuses_counts_chain_follows_as_cache_hits():
+    """Regression: ``jit.reuses`` must count *every* cache reuse — both
+    dict-probe hits and chained follows.  The old accounting only bumped
+    ``jit.hits``, so a fully-chained hot loop (the common steady state,
+    where dispatch never touches the dict) looked like a cold cache."""
+    metrics = Metrics()
+    m = Machine()
+    enable_blockjit(m, metrics=metrics)
+    m.load("long main() { long i; long t; t = 0;"
+           " for (i = 0; i < 80; i = i + 1) { t = t + i; } return t; }")
+    m.call("main")
+    counters = metrics.counters_with_prefix("jit.")
+    assert counters.get("jit.reuses", 0) == (
+        counters.get("jit.hits", 0) + counters.get("jit.chain_follows", 0))
+    # the loop back-edge chains, so reuses must exceed bare dict hits
+    assert counters["jit.reuses"] > counters.get("jit.hits", 0)
+    stats = m.jit.stats()
+    assert stats["reuses"] == stats["hits"] + stats["chain_follows"]
+
+
+def test_chain_graph_exposes_edge_frequencies():
+    """``chain_graph()`` is the introspection view of the dispatch
+    loop's edge profile: every cached block with links appears, edge
+    counts match observed follows, and invalidation empties it."""
+    m = Machine(jit=True)
+    m.load("long main() { long i; long t; t = 0;"
+           " for (i = 0; i < 60; i = i + 1) { t = t + i; } return t; }")
+    m.call("main")
+    graph = m.jit.chain_graph()
+    assert graph, "a hot loop must leave chain links behind"
+    for addr, edges in graph.items():
+        assert isinstance(addr, int) and edges
+        for pc, count in edges.items():
+            assert isinstance(pc, int) and count >= 0
+    # the loop back-edge is the hottest edge in the graph: one install
+    # (count 0) plus one follow per remaining iteration
+    hottest = max(count for edges in graph.values() for count in edges.values())
+    assert hottest >= 58
+    back_edges = [
+        (addr, pc) for addr, edges in graph.items()
+        for pc, count in edges.items() if pc <= addr and count == hottest
+    ]
+    assert back_edges, "hottest edge should be the loop back-edge"
+    # total observed follows across the graph equals the loop's counter
+    assert sum(count for edges in graph.values()
+               for count in edges.values()) == m.jit.stats()["chain_follows"]
+    m.cpu.invalidate_icache()
+    assert m.jit.chain_graph() == {}
+
+
+def test_chain_graph_in_stats():
+    m = Machine(jit=True)
+    m.load("long main() { long i; long t; t = 0;"
+           " for (i = 0; i < 40; i = i + 1) { t = t + 1; } return t; }")
+    m.call("main")
+    stats = m.jit.stats()
+    assert stats["chain_edges"] == sum(
+        len(edges) for edges in m.jit.chain_graph().values())
+
+
 def test_enable_is_idempotent():
     m = Machine(jit=True)
     jit = m.jit

@@ -137,11 +137,13 @@ def test_store_into_own_block_takes_the_codewrite_exit():
     assert jit.cpu.run(e2).uint_return == interp.cpu.run(e1).uint_return
 
 
-@pytest.mark.parametrize("jit_enabled", [False, True])
-def test_selfmod_loop_reconverges(jit_enabled):
+@pytest.mark.parametrize("tier", ["interp", "blockjit", "tracejit"])
+def test_selfmod_loop_reconverges(tier):
     """A hot loop that flips its own addend mid-run: iteration count and
-    accumulator must be identical on both tiers (the loop body block is
-    recompiled after the in-loop store)."""
+    accumulator must be identical on every tier (the loop body block is
+    recompiled after the in-loop store).  On the trace tier the store
+    lands while the trace over the loop is *the running frame* — the
+    code-write exit must sever it mid-flight."""
     m = Machine()
     entry = m.image.add_function("loopmod", bytes(128))
     # the victim "add rax, 1" sits right after the two-insn header; the
@@ -155,12 +157,12 @@ def test_selfmod_loop_reconverges(jit_enabled):
     qword = struct.unpack("<Q", add_two + nop_op)[0]
     src = "\n".join([
         "xor rax, rax",
-        "mov rcx, 6",
+        "mov rcx, 24",
         "loop:",
         "add rax, 1",            # victim
         "nop",                   # keeps the patch qword in the body
         "sub rcx, 1",
-        "cmp rcx, 3",
+        "cmp rcx, 12",
         "jne skip",
         f"mov rdx, {qword}",
         f"mov [{victim_addr}], rdx",
@@ -171,8 +173,105 @@ def test_selfmod_loop_reconverges(jit_enabled):
     ])
     m.image.poke(entry, assemble(src, entry)[0])
 
-    if jit_enabled:
+    if tier == "blockjit":
         m.enable_jit()
+    elif tier == "tracejit":
+        engine = m.enable_jit(trace=True, hot_threshold=4, min_edge=1)
     run = m.cpu.run(entry)
-    # 3 iterations of +1, then the patch lands, then 3 of +2
-    assert run.uint_return == 3 * 1 + 3 * 2
+    # 12 iterations of +1, then the patch lands, then 12 of +2
+    assert run.uint_return == 12 * 1 + 12 * 2
+    if tier == "tracejit":
+        # the hot-path trace must have formed before the patch landed
+        # (the rare patch branch is a side exit; the store then severs
+        # the installed trace through the invalidation path)
+        stats = engine.stats()
+        assert stats["trace_installs"] >= 1, stats
+        assert stats["trace_invalidations"] >= 1, stats
+
+
+def test_selfmod_loop_trace_matches_interpreter_exactly():
+    """The trace-tier run of the self-patching loop must match the
+    interpreter on *every* deterministic counter, not just the result —
+    the side exit into the patch block and the invalidation afterwards
+    both carry exact step/cycle accounting."""
+    def build(machine: Machine) -> int:
+        entry = machine.image.add_function("loopmod", bytes(128))
+        xor_l = len(assemble("xor rax, rax", 0)[0])
+        movc_l = len(assemble("mov rcx, 24", 0)[0])
+        victim_addr = entry + xor_l + movc_l
+        add_two = assemble("add rax, 2", 0)[0]
+        nop_op = assemble("nop", 0)[0][:1]
+        qword = struct.unpack("<Q", add_two + nop_op)[0]
+        src = "\n".join([
+            "xor rax, rax",
+            "mov rcx, 24",
+            "loop:",
+            "add rax, 1",
+            "nop",
+            "sub rcx, 1",
+            "cmp rcx, 12",
+            "jne skip",
+            f"mov rdx, {qword}",
+            f"mov [{victim_addr}], rdx",
+            "skip:",
+            "cmp rcx, 0",
+            "jne loop",
+            "ret",
+        ])
+        machine.image.poke(entry, assemble(src, entry)[0])
+        return entry
+
+    interp = Machine()
+    want = interp.cpu.run(build(interp))
+    traced = Machine()
+    e = build(traced)
+    traced.enable_jit(trace=True, hot_threshold=4, min_edge=1)
+    got = traced.cpu.run(e)
+    assert (got.uint_return, got.steps) == (want.uint_return, want.steps)
+    assert got.perf.as_dict() == want.perf.as_dict()
+    assert dict(got.perf.by_segment_stores) == dict(want.perf.by_segment_stores)
+
+
+def test_trace_codewrite_exit_every_iteration():
+    """A loop whose *hot path* stores over its own body every iteration
+    (same bytes, so semantics never change): each trace entry must take
+    the code-write exit after at most one iteration, invalidate, and
+    reconverge bit-for-bit with the interpreter — the trace tier can
+    never batch iterations past a store into executable bytes."""
+    def build(machine: Machine) -> int:
+        entry = machine.image.add_function("storemod", bytes(96))
+        xor_l = len(assemble("xor rax, rax", 0)[0])
+        movc_l = len(assemble("mov rcx, 40", 0)[0])
+        movd_l = len(assemble(f"mov rdx, {1 << 40}", 0)[0])
+        victim_addr = entry + xor_l + movc_l + movd_l
+        add_one = assemble("add rax, 1", 0)[0]
+        nop_op = assemble("nop", 0)[0][:1]
+        qword = struct.unpack("<Q", add_one + nop_op)[0]
+        src = "\n".join([
+            "xor rax, rax",
+            "mov rcx, 40",
+            f"mov rdx, {qword}",
+            "loop:",
+            "add rax, 1",            # victim: rewritten with itself
+            "nop",
+            f"mov [{victim_addr}], rdx",
+            "sub rcx, 1",
+            "cmp rcx, 0",
+            "jne loop",
+            "ret",
+        ])
+        machine.image.poke(entry, assemble(src, entry)[0])
+        return entry
+
+    interp = Machine()
+    want = interp.cpu.run(build(interp))
+    assert want.uint_return == 40
+
+    traced = Machine()
+    e = build(traced)
+    engine = traced.enable_jit(trace=True, hot_threshold=4, min_edge=1)
+    got = traced.cpu.run(e)
+    assert (got.uint_return, got.steps) == (want.uint_return, want.steps)
+    assert got.perf.as_dict() == want.perf.as_dict()
+    stats = engine.stats()
+    assert stats["interp_fallbacks"] == 0

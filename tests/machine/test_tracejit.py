@@ -1,0 +1,320 @@
+"""Tier-2 trace JIT tests: differential equality against the
+interpreter with traces actually formed, exact side-exit accounting,
+multi-version promotion under a shifting branch profile, step-limit
+parity, and invalidation severing installed traces.
+
+Every machine here uses hair-trigger thresholds (``hot_threshold=4,
+min_edge=1``) so small test loops promote; the assertions on
+``trace_installs``/``trace_iterations`` prove the trace tier actually
+executed the iterations being compared, not tier 1.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import CpuError
+from repro.machine.tracejit import TraceJIT, enable_tracejit
+from repro.machine.vm import Machine
+from repro.obs import Metrics
+
+#: Aggressive promotion thresholds for test-sized loops.
+HOT = dict(hot_threshold=4, min_edge=1)
+
+
+def fingerprint(machine, result):
+    """Full architectural outcome of one run, bitwise-comparable."""
+    cpu = machine.cpu
+    return (
+        result.uint_return,
+        struct.pack("<d", result.float_return),
+        result.steps,
+        tuple(sorted(result.perf.as_dict().items())),
+        tuple(sorted(result.perf.by_segment_loads.items())),
+        tuple(sorted(result.perf.by_segment_stores.items())),
+        tuple(cpu.regs),
+        tuple(tuple(x) for x in cpu.xmm),
+        cpu.pc,
+    )
+
+
+#: Hot-loop programs covering the trace compiler's operand families:
+#: integer arithmetic with a division, arrays (load + store sites in
+#: multiple segments), float accumulation with comparisons, and a
+#: two-block cycle (loop body + guard).
+PROGRAMS = {
+    "intloop": """
+        long main() {
+            long t; long i;
+            t = 0;
+            for (i = 1; i <= 400; i = i + 1) { t = t + i * 3 - t / 7; }
+            return t;
+        }
+    """,
+    "arrays": """
+        long main() {
+            long a[64]; long i; long t;
+            for (i = 0; i < 64; i = i + 1) { a[i] = i * 5 % 17; }
+            t = 0;
+            for (i = 0; i < 64; i = i + 1) { t = t + a[63 - i]; }
+            return t;
+        }
+    """,
+    "floats": """
+        double main() {
+            double total; long i; double x;
+            total = 0.0;
+            for (i = 0; i < 300; i = i + 1) {
+                x = i * 0.25 - 20.0;
+                if (x < 0.0) { x = 0.0 - x; }
+                total = total + x / (x + 1.0);
+            }
+            return total;
+        }
+    """,
+    "rare_branch": """
+        long main() {
+            long t; long i;
+            t = 0;
+            for (i = 0; i < 500; i = i + 1) {
+                if (i == 437) { t = t + 1000000; }
+                t = t + i;
+            }
+            return t;
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_differential_bit_for_bit_with_traces(name):
+    src = PROGRAMS[name]
+    interp = Machine()
+    interp.load(src)
+    traced = Machine()
+    traced.load(src)
+    traced.enable_jit(trace=True, **HOT)
+    r_i = interp.call("main")
+    r_t = traced.call("main")
+    assert fingerprint(interp, r_i) == fingerprint(traced, r_t)
+    stats = traced.jit.stats()
+    assert stats["trace_installs"] > 0, "no trace formed — nothing tested"
+    assert stats["trace_iterations"] > 0
+    assert stats["interp_fallbacks"] == 0
+    # second run: warm traces, still identical
+    assert fingerprint(interp, interp.call("main")) == fingerprint(
+        traced, traced.call("main")
+    )
+
+
+def test_side_exit_accounting_exact():
+    """The loop's final iteration disagrees with the recorded branch
+    direction, so every run ends through a guarded side exit; steps and
+    every deterministic perf counter must still match the interpreter
+    exactly (the ``_ran_partial`` contract)."""
+    src = ("long f(long n) { long t; long i; t = 0;"
+           " for (i = 0; i < n; i = i + 1) { t = t + i * 2; } return t; }")
+    interp = Machine()
+    interp.load(src)
+    traced = Machine()
+    traced.load(src)
+    traced.enable_jit(trace=True, **HOT)
+    for n in (50, 51, 1, 0, 200):
+        r_i = interp.call("f", n)
+        r_t = traced.call("f", n)
+        assert fingerprint(interp, r_i) == fingerprint(traced, r_t), n
+    stats = traced.jit.stats()
+    assert stats["trace_side_exits"] > 0
+    assert stats["interp_fallbacks"] == 0
+
+
+def test_max_steps_parity_on_nonterminating_loop():
+    src = ("long main() { long t; t = 0;"
+           " for (t = 0; t >= 0; t = t + 1) { } return t; }")
+    msgs = []
+    for trace in (False, None):
+        m = Machine()
+        m.load(src)
+        if trace is None:
+            m.enable_jit(trace=True, **HOT)
+        with pytest.raises(CpuError) as exc:
+            m.call("main", max_steps=5000)
+        msgs.append(str(exc.value))
+    assert msgs[0] == msgs[1]  # same step count, same faulting pc
+
+
+def test_max_steps_boundary_exact():
+    """A hot-loop run finishing in exactly N steps must succeed with
+    max_steps=N and fail with N-1, same as the interpreter — the trace's
+    iteration cap may never overstep the budget."""
+    src = ("long main() { long t; long i; t = 0;"
+           " for (i = 0; i < 100; i = i + 1) { t = t + i; } return t; }")
+    interp = Machine()
+    interp.load(src)
+    steps = interp.call("main").steps
+    m = Machine()
+    m.load(src)
+    m.enable_jit(trace=True, **HOT)
+    assert m.call("main", max_steps=steps).int_return == 4950
+    assert m.jit.stats()["trace_iterations"] > 0
+    with pytest.raises(CpuError):
+        m.call("main", max_steps=steps - 1)
+
+
+def test_multi_version_traces_on_phase_shift():
+    """A branch profile that flips halfway (local phase, then remote
+    phase) must deactivate the first trace and promote a second version
+    keyed by the new direction signature — and stay bit-for-bit."""
+    src = """
+        long f(long n) {
+            long t; long i;
+            t = 0;
+            for (i = 0; i < 2 * n; i = i + 1) {
+                if (i < n) { t = t + 3; } else { t = t + i; }
+            }
+            return t;
+        }
+    """
+    interp = Machine()
+    interp.load(src)
+    traced = Machine()
+    traced.load(src)
+    traced.enable_jit(trace=True, deact_min_exits=2, **HOT)
+    for n in (400, 400, 400):
+        assert fingerprint(interp, interp.call("f", n)) == fingerprint(
+            traced, traced.call("f", n))
+    stats = traced.jit.stats()
+    assert stats["trace_versions"] >= 2, stats
+    assert stats["trace_deactivations"] >= 1, stats
+    assert stats["interp_fallbacks"] == 0
+
+
+def test_version_reuse_no_recompile_in_steady_state():
+    """Once both versions of a phase-shifting loop are compiled, further
+    calls swap installed versions without new compiles."""
+    src = """
+        long f(long n) {
+            long t; long i;
+            t = 0;
+            for (i = 0; i < 2 * n; i = i + 1) {
+                if (i < n) { t = t + 3; } else { t = t + i; }
+            }
+            return t;
+        }
+    """
+    m = Machine()
+    m.load(src)
+    m.enable_jit(trace=True, deact_min_exits=2, **HOT)
+    for _ in range(4):
+        m.call("f", 300)
+    compiles = m.jit.stats()["trace_compiles"]
+    for _ in range(3):
+        m.call("f", 300)
+    assert m.jit.stats()["trace_compiles"] == compiles
+
+
+def test_invalidation_severs_installed_traces():
+    """An in-place poke over a traced function must retire its versions
+    and drop the installed entry; the next run executes the new bytes."""
+    src = ("long main() { long t; long i; t = 0;"
+           " for (i = 0; i < 200; i = i + 1) { t = t + 2; } return t; }")
+    m = Machine()
+    m.load(src)
+    m.enable_jit(trace=True, **HOT)
+    assert m.call("main").int_return == 400
+    stats = m.jit.stats()
+    assert stats["installed_traces"] > 0
+    entry = m.image.resolve("main")
+    size = m.image.function_sizes.get(entry, 64)
+    m.image.poke(entry, bytes(m.image.peek(entry, size)))  # same bytes, still a code write
+    stats = m.jit.stats()
+    assert stats["installed_traces"] == 0
+    assert stats["trace_invalidations"] >= 1
+    assert m.call("main").int_return == 400  # re-profiles and re-traces
+
+
+def test_reserve_rewrite_drops_overlapping_traces():
+    """Snapshot re-placement pins rewrite-segment ranges via
+    ``reserve_rewrite``; a pinned range overlapping a traced body must
+    sever the trace exactly like a poke (the generation bump makes the
+    dispatch loop re-resolve instead of running the stale entry)."""
+    from repro.asm.assembler import assemble
+
+    loop_src = "\n".join([
+        "xor rax, rax",
+        "mov rcx, 0",
+        "loop:",
+        "add rax, rcx",
+        "add rcx, 1",
+        "cmp rcx, 150",
+        "jne loop",
+        "ret",
+    ])
+    m = Machine()
+    m.load("long main() { return 0; }")  # gives the image a toolchain
+    m.enable_jit(trace=True, **HOT)
+    # two-phase assembly into the rewrite segment, the region
+    # reserve_rewrite manages
+    probe, _ = assemble(loop_src, 0)
+    addr = m.image.alloc_rewrite(len(probe))
+    code, _ = assemble(loop_src, addr)
+    m.image.poke(addr, code)
+    m.image.define_symbol("hot2", addr)
+
+    gen_before = m.jit.gen
+    assert m.call("hot2").int_return == sum(range(150))
+    assert m.jit.stats()["installed_traces"] > 0
+    # pinning only the 8-byte header must NOT drop the loop trace —
+    # trace invalidation is span-precise, like tier 1's
+    m.image.reserve_rewrite(addr, 8)
+    assert m.jit.stats()["installed_traces"] == 1
+    # pinning the whole body severs it and bumps the generation
+    m.image.reserve_rewrite(addr, len(code))
+    assert m.jit.gen != gen_before
+    assert m.jit.stats()["installed_traces"] == 0
+    assert m.jit.stats()["trace_invalidations"] >= 1
+    assert m.call("hot2").int_return == sum(range(150))
+
+
+def test_trace_metrics_exported():
+    metrics = Metrics()
+    m = Machine()
+    m.load("long main() { long t; long i; t = 0;"
+           " for (i = 0; i < 300; i = i + 1) { t = t + i; } return t; }")
+    enable_tracejit(m, metrics=metrics, **HOT)
+    m.call("main")
+    counters = metrics.counters_with_prefix("jit.trace.")
+    assert counters.get("jit.trace.compiles", 0) > 0
+    assert counters.get("jit.trace.installs", 0) > 0
+    assert counters.get("jit.trace.entries", 0) > 0
+    assert counters.get("jit.trace.iterations", 0) > 0
+    # the point-in-time stats and the cumulative metrics agree
+    assert counters["jit.trace.iterations"] == m.jit.stats()["trace_iterations"]
+
+
+def test_stats_schema_superset_of_tier1():
+    m = Machine()
+    m.load("long main() { return 1; }")
+    m.enable_jit(trace=True)
+    m.call("main")
+    stats = m.jit.stats()
+    for key in ("compiles", "hits", "chain_follows", "reuses",
+                "interp_fallbacks", "trace_compiles", "trace_installs",
+                "trace_deactivations", "trace_aborts",
+                "trace_invalidations", "trace_entries", "trace_side_exits",
+                "trace_iterations", "trace_versions", "installed_traces"):
+        assert key in stats, key
+
+
+def test_enable_is_idempotent_and_guards_tier_conflict():
+    m = Machine()
+    m.load("long main() { return 1; }")
+    jit = m.enable_jit(trace=True)
+    assert isinstance(jit, TraceJIT)
+    assert m.enable_jit(trace=True) is jit
+    m2 = Machine(jit=True)  # tier-1 engine attached
+    m2.load("long main() { return 1; }")
+    with pytest.raises(RuntimeError):
+        enable_tracejit(m2)
